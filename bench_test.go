@@ -1,0 +1,147 @@
+package rls
+
+// bench_test.go exposes every experiment from the DESIGN.md index as a
+// testing.B benchmark: `go test -bench=ExpT1` regenerates Theorem 1's
+// sweep, `-bench=Exp` regenerates everything. Each iteration runs the
+// full Quick-scale experiment; set RLS_BENCH_PRINT=1 to print the
+// resulting tables to stderr (cmd/rlsweep prints them with more control).
+//
+// Micro-benchmarks for the protocol itself (per-activation cost across
+// regimes) follow at the bottom.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// benchExperiment runs one registered experiment per b iteration and
+// reports the row count so regressions in sweep coverage are visible.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tb := e.Run(harness.RunConfig{Seed: uint64(i) + 1, Scale: harness.Quick})
+		rows = len(tb.Rows)
+		if i == 0 && os.Getenv("RLS_BENCH_PRINT") != "" {
+			tb.Render(os.Stderr)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkExpF1(b *testing.B)   { benchExperiment(b, "F1") }
+func BenchmarkExpF2(b *testing.B)   { benchExperiment(b, "F2") }
+func BenchmarkExpF3(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkExpT1(b *testing.B)   { benchExperiment(b, "T1") }
+func BenchmarkExpT2(b *testing.B)   { benchExperiment(b, "T2") }
+func BenchmarkExpLB1(b *testing.B)  { benchExperiment(b, "LB1") }
+func BenchmarkExpLB2(b *testing.B)  { benchExperiment(b, "LB2") }
+func BenchmarkExpDML(b *testing.B)  { benchExperiment(b, "DML") }
+func BenchmarkExpP1(b *testing.B)   { benchExperiment(b, "P1") }
+func BenchmarkExpP2(b *testing.B)   { benchExperiment(b, "P2") }
+func BenchmarkExpP3(b *testing.B)   { benchExperiment(b, "P3") }
+func BenchmarkExpL8(b *testing.B)   { benchExperiment(b, "L8") }
+func BenchmarkExpL9(b *testing.B)   { benchExperiment(b, "L9") }
+func BenchmarkExpL16(b *testing.B)  { benchExperiment(b, "L16") }
+func BenchmarkExpCMP1(b *testing.B) { benchExperiment(b, "CMP1") }
+func BenchmarkExpCMP2(b *testing.B) { benchExperiment(b, "CMP2") }
+func BenchmarkExpCMP3(b *testing.B) { benchExperiment(b, "CMP3") }
+func BenchmarkExpX1(b *testing.B)   { benchExperiment(b, "X1") }
+func BenchmarkExpX2(b *testing.B)   { benchExperiment(b, "X2") }
+func BenchmarkExpX3(b *testing.B)   { benchExperiment(b, "X3") }
+func BenchmarkExpA1(b *testing.B)   { benchExperiment(b, "A1") }
+func BenchmarkExpA2(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkExpA3(b *testing.B)   { benchExperiment(b, "A3") }
+func BenchmarkExpO1(b *testing.B)   { benchExperiment(b, "O1") }
+
+// BenchmarkBalanceToPerfection measures whole-run cost of the public API
+// across (n, m) regimes; the per-activation metric is the engine's
+// throughput figure.
+func BenchmarkBalanceToPerfection(b *testing.B) {
+	cases := []struct {
+		name string
+		n, m int
+	}{
+		{"n=256,m=256", 256, 256},
+		{"n=256,m=4096", 256, 4096},
+		{"n=1024,m=1024", 1024, 1024},
+		{"n=64,m=65536", 64, 65536},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var totalActs int64
+			for i := 0; i < b.N; i++ {
+				res, err := New(c.n, c.m, WithSeed(uint64(i)+1)).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Reached {
+					b.Fatal("did not balance")
+				}
+				totalActs += res.Activations
+			}
+			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+		})
+	}
+}
+
+// BenchmarkSessionChurnCycle measures a join/leave/rebalance churn cycle
+// through the Session API.
+func BenchmarkSessionChurnCycle(b *testing.B) {
+	s := NewSession(64, 7)
+	for i := 0; i < 512; i++ {
+		s.AddBallRandom()
+	}
+	if ok, err := s.RunUntilPerfect(10_000_000); err != nil || !ok {
+		b.Fatal("setup failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RemoveRandomBall(); err != nil {
+			b.Fatal(err)
+		}
+		s.AddBall(0)
+		if ok, err := s.RunUntilPerfect(10_000_000); err != nil || !ok {
+			b.Fatal("rebalance failed")
+		}
+	}
+}
+
+// BenchmarkExpectedBalanceTimePredictors covers the closed-form side.
+func BenchmarkExpectedBalanceTimePredictors(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		n := 2 + i%4096
+		sink += ExpectedBalanceTime(n, 4*n) + WHPBalanceTime(n, 4*n) + HarmonicLowerBound(n, 4*n)
+	}
+	_ = sink
+}
+
+// TestBenchmarkIDsMatchRegistry pins the Benchmark list to the registry:
+// adding an experiment without a bench (or vice versa) fails here.
+func TestBenchmarkIDsMatchRegistry(t *testing.T) {
+	want := map[string]bool{}
+	for _, id := range harness.IDs() {
+		want[id] = true
+	}
+	// The list above, kept in sync by hand.
+	have := []string{
+		"F1", "F2", "F3", "T1", "T2", "LB1", "LB2", "DML",
+		"P1", "P2", "P3", "L8", "L9", "L16", "CMP1", "CMP2", "CMP3",
+		"X1", "X2", "X3", "A1", "A2", "A3", "O1",
+	}
+	if len(have) != len(want) {
+		t.Fatalf("bench list has %d, registry %d", len(have), len(want))
+	}
+	for _, id := range have {
+		if !want[id] {
+			t.Errorf("bench for unknown experiment %s", id)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command rlsim runs a single RLS simulation and prints a summary, an
+// optional trajectory, and an ASCII rendering of the final configuration.
+//
+// Examples:
+//
+//	rlsim -n 64 -m 640
+//	rlsim -n 64 -m 640 -placement random -trace 500
+//	rlsim -n 64 -m 512 -topology ring
+//	rlsim -n 16 -m 160 -speeds bimodal
+//	rlsim -n 32 -m 320 -strict -target disc=2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	rls "repro"
+	"repro/internal/asciiplot"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 32, "number of bins")
+		m         = flag.Int("m", 320, "number of balls")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		placement = flag.String("placement", "all-in-one", "initial placement: all-in-one|random|two-choice|spread|delta-pair")
+		target    = flag.String("target", "perfect", "stop target: perfect | disc=X | time=X")
+		topology  = flag.String("topology", "complete", "topology: complete|ring|torus|hypercube")
+		speeds    = flag.String("speeds", "", "bin speed profile: uniform|bimodal|powerlaw (empty = unit speeds)")
+		strict    = flag.Bool("strict", false, "use the strict (>) tie rule of [12]/[11]")
+		trace     = flag.Int64("trace", 0, "print a trace point every K activations (0 = off)")
+		plot      = flag.Bool("plot", true, "render initial/final configurations as ASCII bars")
+		csv       = flag.Bool("csv", false, "emit the trace as CSV instead of a table (implies -trace)")
+	)
+	flag.Parse()
+	if *csv && *trace <= 0 {
+		*trace = 100
+	}
+	if err := run(*n, *m, *seed, *placement, *target, *topology, *speeds, *strict, *trace, *plot && !*csv, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "rlsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, m int, seed uint64, placement, target, topology, speeds string, strict bool, trace int64, plot, csv bool) error {
+	opts := []rls.Option{rls.WithSeed(seed)}
+
+	switch placement {
+	case "all-in-one":
+		opts = append(opts, rls.WithPlacement(rls.AllInOne()))
+	case "random":
+		opts = append(opts, rls.WithPlacement(rls.Random()))
+	case "two-choice":
+		opts = append(opts, rls.WithPlacement(rls.TwoChoice()))
+	case "spread":
+		opts = append(opts, rls.WithPlacement(rls.Spread()))
+	case "delta-pair":
+		opts = append(opts, rls.WithPlacement(rls.DeltaPair(1)))
+	default:
+		return fmt.Errorf("unknown placement %q", placement)
+	}
+
+	switch {
+	case target == "perfect":
+		opts = append(opts, rls.WithTarget(rls.UntilPerfect()))
+	case strings.HasPrefix(target, "disc="):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(target, "disc="), 64)
+		if err != nil {
+			return fmt.Errorf("bad target %q: %v", target, err)
+		}
+		opts = append(opts, rls.WithTarget(rls.UntilBalanced(x)))
+	case strings.HasPrefix(target, "time="):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(target, "time="), 64)
+		if err != nil {
+			return fmt.Errorf("bad target %q: %v", target, err)
+		}
+		opts = append(opts, rls.WithTarget(rls.UntilTime(x)))
+	default:
+		return fmt.Errorf("unknown target %q", target)
+	}
+
+	switch topology {
+	case "complete":
+	case "ring":
+		opts = append(opts, rls.WithTopology(rls.RingTopology()))
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		opts = append(opts, rls.WithTopology(rls.TorusTopology(side)))
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		opts = append(opts, rls.WithTopology(rls.HypercubeTopology(dim)))
+	default:
+		return fmt.Errorf("unknown topology %q", topology)
+	}
+
+	switch speeds {
+	case "":
+	case "uniform":
+		opts = append(opts, rls.WithSpeeds(uniformSpeeds(n)))
+	case "bimodal":
+		s := uniformSpeeds(n)
+		for i := 0; i < n/4; i++ {
+			s[i] = 4
+		}
+		opts = append(opts, rls.WithSpeeds(s))
+	case "powerlaw":
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = 1 / math.Sqrt(float64(i+1))
+		}
+		opts = append(opts, rls.WithSpeeds(s))
+	default:
+		return fmt.Errorf("unknown speed profile %q", speeds)
+	}
+
+	if strict {
+		opts = append(opts, rls.WithStrictTieRule())
+	}
+
+	runner := rls.New(n, m, opts...)
+	if !csv {
+		fmt.Printf("RLS: n=%d m=%d ∅=%.2f placement=%s target=%s topology=%s seed=%d\n",
+			n, m, float64(m)/float64(n), placement, target, topology, seed)
+		fmt.Printf("Theorem 1 predictor ln(n)+n²/m = %.3f, w.h.p. shape = %.3f\n",
+			rls.ExpectedBalanceTime(n, m), rls.WHPBalanceTime(n, m))
+	}
+
+	if trace > 0 {
+		res, tr, err := runner.RunTraced(trace)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Println("time,activations,disc,min_load,max_load")
+			for _, p := range tr {
+				fmt.Printf("%g,%d,%g,%d,%d\n", p.Time, p.Activations, p.Disc, p.MinLoad, p.MaxLoad)
+			}
+			return nil
+		}
+		fmt.Printf("%-12s %-12s %-10s %-6s %-6s\n", "time", "activations", "disc", "min", "max")
+		for _, p := range tr {
+			fmt.Printf("%-12.4f %-12d %-10.3f %-6d %-6d\n", p.Time, p.Activations, p.Disc, p.MinLoad, p.MaxLoad)
+		}
+		report(res, plot)
+		return nil
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	report(res, plot)
+	return nil
+}
+
+func report(res rls.Result, plot bool) {
+	fmt.Printf("\nreached=%v time=%.4f activations=%d moves=%d final-disc=%.3f\n",
+		res.Reached, res.Time, res.Activations, res.Moves, res.Disc)
+	fmt.Printf("phase crossings: log-balanced=%.4f 1-balanced=%.4f perfect=%.4f\n",
+		res.Phases.LogBalanced, res.Phases.OneBalanced, res.Phases.Perfect)
+	if plot && len(res.Final) <= 72 {
+		sum := 0
+		for _, l := range res.Final {
+			sum += l
+		}
+		avg := float64(sum) / float64(len(res.Final))
+		fmt.Println()
+		asciiplot.Bars(os.Stdout, "final configuration", res.Final, avg, "average load")
+	}
+}
+
+func uniformSpeeds(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}

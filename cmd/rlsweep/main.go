@@ -1,0 +1,100 @@
+// Command rlsweep regenerates the reproduction's experiment tables — one
+// per figure/claim of the paper, per the index in DESIGN.md §3.
+//
+// Examples:
+//
+//	rlsweep -list
+//	rlsweep -exp T1
+//	rlsweep -exp all -scale full -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		scale  = flag.String("scale", "quick", "quick | full")
+		format = flag.String("format", "text", "text | csv")
+		seed   = flag.Uint64("seed", 1, "root seed")
+		list   = flag.Bool("list", false, "list registered experiments and exit")
+		outdir = flag.String("outdir", "", "also write each table as <outdir>/<ID>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-5s %-55s [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch *scale {
+	case "quick":
+		sc = harness.Quick
+	case "full":
+		sc = harness.Full
+	default:
+		fmt.Fprintf(os.Stderr, "rlsweep: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	var experiments []harness.Experiment
+	if *exp == "all" {
+		experiments = harness.All()
+	} else {
+		e, ok := harness.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rlsweep: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		experiments = []harness.Experiment{e}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rlsweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := harness.RunConfig{Seed: *seed, Scale: sc}
+	for i, e := range experiments {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		tb := e.Run(cfg)
+		switch *format {
+		case "csv":
+			tb.RenderCSV(os.Stdout)
+		default:
+			fmt.Printf("# %s — claim: %s\n", e.PaperRef, e.Claim)
+			tb.Render(os.Stdout)
+			fmt.Printf("(%s scale, %v)\n", *scale, time.Since(start).Round(time.Millisecond))
+		}
+		if *outdir != "" {
+			if err := writeCSV(filepath.Join(*outdir, e.ID+".csv"), tb); err != nil {
+				fmt.Fprintf(os.Stderr, "rlsweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(path string, tb *harness.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tb.RenderCSV(f)
+	return f.Close()
+}

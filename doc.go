@@ -1,0 +1,22 @@
+// Package rls is a Go reproduction of "Tight Load Balancing via Randomized
+// Local Search" by Berenbrink, Kling, Liaw and Mehrabian (IPDPS 2017;
+// arXiv:1706.09997).
+//
+// The paper analyzes the Randomized Local Search (RLS) protocol: n bins, m
+// balls, each ball carrying an independent rate-1 exponential clock; when
+// a ball's clock rings it samples a uniformly random bin and moves there
+// iff the sampled bin holds strictly fewer balls. The paper's main result
+// (Theorem 1) is that the expected time to perfect balance (discrepancy
+// below 1) is Θ(ln n + n²/m) from any initial configuration.
+//
+// This package is the public API: construct a Runner with New, configure
+// it with options (initial placement, tie rule, topology, bin speeds,
+// stop target, engine choice), and Run it. Session supports dynamic
+// ball churn for self-stabilization scenarios. Quantities from the
+// paper's analysis (harmonic bounds, Theorem 1 predictors) are exposed as
+// plain functions.
+//
+// The experiment suite reproducing every figure and claim of the paper
+// lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and
+// the benchmarks in bench_test.go; see DESIGN.md and EXPERIMENTS.md.
+package rls

@@ -1,0 +1,65 @@
+// P2P churn: data items (balls) balanced across peers (bins) under
+// continuous churn — the self-stabilization setting that motivates simple
+// distributed protocols in the paper's introduction (cf. [20]).
+//
+// The Session API lets items join and leave between stretches of RLS
+// execution; after every churn burst, RLS restores perfect balance with
+// no restart, reset, or global coordination.
+package main
+
+import (
+	"fmt"
+
+	rls "repro"
+)
+
+func main() {
+	const peers = 24
+	s := rls.NewSession(peers, 99)
+
+	// Bootstrap: 480 items arrive at a single seed peer (worst case —
+	// e.g. a bulk import).
+	for i := 0; i < 480; i++ {
+		if err := s.AddBall(0); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("bootstrap: %d items on peer 0 of %d peers; disc = %.1f\n", s.M(), peers, s.Disc())
+	mustBalance(s)
+
+	// Ten churn epochs: a burst of joins/leaves, then RLS re-balances.
+	for epoch := 1; epoch <= 10; epoch++ {
+		// 40 random items leave (peers crash / objects deleted) and 55
+		// new items arrive at a hotspot peer.
+		for i := 0; i < 40; i++ {
+			if _, err := s.RemoveRandomBall(); err != nil {
+				panic(err)
+			}
+		}
+		hotspot := epoch % peers
+		for i := 0; i < 55; i++ {
+			if err := s.AddBall(hotspot); err != nil {
+				panic(err)
+			}
+		}
+		preDisc := s.Disc()
+		preTime := s.Time()
+		mustBalance(s)
+		fmt.Printf("epoch %2d: %4d items, churn disc %.1f → rebalanced in %.3f time units\n",
+			epoch, s.M(), preDisc, s.Time()-preTime)
+	}
+
+	fmt.Printf("\nsession totals: time %.2f, activations %d, moves %d, final disc %.2f\n",
+		s.Time(), s.Activations(), s.Moves(), s.Disc())
+	fmt.Println("RLS is self-stabilizing here: every epoch ends perfectly balanced.")
+}
+
+func mustBalance(s *rls.Session) {
+	ok, err := s.RunUntilPerfect(50_000_000)
+	if err != nil {
+		panic(err)
+	}
+	if !ok {
+		panic("did not rebalance within budget")
+	}
+}

@@ -1,0 +1,51 @@
+// Queueing: the open-system setting of Ganesh et al. [11] — the line of
+// work whose closed-system analysis this paper tightens. Jobs arrive as
+// a Poisson stream, n servers drain them as M/M/1 queues, and waiting
+// jobs optionally run RLS migration clocks.
+//
+// Without migration the maximum queue scales like log_{1/ρ}(n); with the
+// paper's rate-1 clocks the queue vector hugs the mean. This is the
+// operational payoff of the balancing result: tail latency collapses.
+package main
+
+import (
+	"fmt"
+
+	rls "repro"
+)
+
+func main() {
+	const (
+		servers = 64
+		mu      = 1.0
+		warmup  = 2000.0
+		window  = 15000.0
+	)
+
+	fmt.Printf("%d servers, M/M/1 service (μ=1), observation window %.0f time units\n\n", servers, window)
+	header := "rho   migration  jobs/server (M/M/1 pred)  mean max queue (EV scale)  mean disc  pct-time perfect"
+	fmt.Println(header)
+
+	for _, rho := range []float64{0.5, 0.8, 0.9} {
+		for _, beta := range []float64{0, 1} {
+			sys, err := rls.NewOpenSystem(servers, rho*mu, mu, beta, 42)
+			if err != nil {
+				panic(err)
+			}
+			st := sys.Observe(warmup, window)
+			mig := "off"
+			if beta > 0 {
+				mig = "RLS"
+			}
+			fmt.Printf("%.2f  %-9s  %-11.2f (%.2f)%-7s %-15.2f (%.1f)%-5s %-9.2f %.0f%%\n",
+				rho, mig,
+				st.MeanJobsPerServer, rls.MM1MeanJobs(rho), "",
+				st.MeanMaxQueue, rls.MM1MaxQueueScale(servers, rho), "",
+				st.MeanDisc, 100*st.FracPerfect)
+		}
+	}
+
+	fmt.Println("\nreading: RLS migration keeps servers busy whenever work exists anywhere")
+	fmt.Println("(approaching pooled M/M/n behaviour), so the mean job count falls AND the")
+	fmt.Println("maximum queue — the tail latency — collapses toward the mean.")
+}

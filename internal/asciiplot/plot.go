@@ -1,0 +1,159 @@
+// Package asciiplot renders the paper's illustration figures and the
+// harness's measurement series as plain-text graphics, keeping the whole
+// reproduction dependency-free. Bars renders load configurations in the
+// style of Figures 1 and 3; Series renders x/y measurement curves.
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bars renders a load configuration as a vertical bar chart, one column
+// per bin, with an optional horizontal marker line (e.g. the average
+// load), in the style of the paper's Figures 1 and 3.
+func Bars(w io.Writer, title string, loads []int, marker float64, markerLabel string) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(loads) == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	max := loads[0]
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	if marker > float64(max) {
+		max = int(math.Ceil(marker))
+	}
+	if max == 0 {
+		max = 1
+	}
+	markerRow := -1
+	if marker > 0 {
+		markerRow = int(math.Round(marker))
+	}
+	for level := max; level >= 1; level-- {
+		var b strings.Builder
+		if level == markerRow {
+			fmt.Fprintf(&b, "%3d ~", level)
+		} else {
+			fmt.Fprintf(&b, "%3d |", level)
+		}
+		for _, l := range loads {
+			if l >= level {
+				b.WriteString(" █")
+			} else if level == markerRow {
+				b.WriteString(" ~")
+			} else {
+				b.WriteString("  ")
+			}
+		}
+		if level == markerRow && markerLabel != "" {
+			fmt.Fprintf(&b, "  <- %s", markerLabel)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	var axis strings.Builder
+	axis.WriteString("    +")
+	for range loads {
+		axis.WriteString("--")
+	}
+	fmt.Fprintln(w, axis.String())
+	var ids strings.Builder
+	ids.WriteString("     ")
+	for i := range loads {
+		ids.WriteString(fmt.Sprintf("%d", (i+1)%10))
+		ids.WriteString(" ")
+	}
+	fmt.Fprintf(w, "%s (bin ID mod 10)\n", strings.TrimRight(ids.String(), " "))
+}
+
+// Series renders an x/y curve on a width×height character grid with
+// log-log support, for the measurement figures (e.g. E[T] vs n).
+func Series(w io.Writer, title string, xs, ys []float64, width, height int, logX, logY bool) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(xs) != len(ys) || len(xs) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	tx := func(x float64) float64 {
+		if logX {
+			return math.Log(x)
+		}
+		return x
+	}
+	ty := func(y float64) float64 {
+		if logY {
+			return math.Log(y)
+		}
+		return y
+	}
+	minX, maxX := tx(xs[0]), tx(xs[0])
+	minY, maxY := ty(ys[0]), ty(ys[0])
+	for i := range xs {
+		minX = math.Min(minX, tx(xs[i]))
+		maxX = math.Max(maxX, tx(xs[i]))
+		minY = math.Min(minY, ty(ys[i]))
+		maxY = math.Max(maxY, ty(ys[i]))
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		col := int(math.Round((tx(xs[i]) - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((ty(ys[i]) - minY) / (maxY - minY) * float64(height-1)))
+		grid[height-1-row][col] = '*'
+	}
+	for r, line := range grid {
+		label := ""
+		if r == 0 {
+			label = fmt.Sprintf(" %.3g", ys[argmaxT(ys, ty)])
+		}
+		if r == height-1 {
+			label = fmt.Sprintf(" %.3g", ys[argminT(ys, ty)])
+		}
+		fmt.Fprintf(w, "|%s|%s\n", string(line), label)
+	}
+	fmt.Fprintf(w, " x: [%.3g, %.3g]", xs[argminT(xs, tx)], xs[argmaxT(xs, tx)])
+	if logX || logY {
+		fmt.Fprintf(w, "  (log axes: x=%v y=%v)", logX, logY)
+	}
+	fmt.Fprintln(w)
+}
+
+func argminT(v []float64, t func(float64) float64) int {
+	best := 0
+	for i := range v {
+		if t(v[i]) < t(v[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmaxT(v []float64, t func(float64) float64) int {
+	best := 0
+	for i := range v {
+		if t(v[i]) > t(v[best]) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,114 @@
+package asciiplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "demo", []int{3, 1, 0, 2}, 1.5, "avg")
+	out := buf.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	// Height 3 bars + axis + ids + title: at least 6 lines.
+	if len(lines) < 6 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("no bars drawn")
+	}
+	if !strings.Contains(out, "avg") {
+		t.Error("marker label missing")
+	}
+	// The level-3 row must contain exactly one block (bin 0 only).
+	for _, l := range lines {
+		if strings.HasPrefix(l, "  3") {
+			if strings.Count(l, "█") != 1 {
+				t.Errorf("level-3 row wrong: %q", l)
+			}
+		}
+		if strings.HasPrefix(l, "  1") {
+			if strings.Count(l, "█") != 3 {
+				t.Errorf("level-1 row wrong: %q", l)
+			}
+		}
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "empty", nil, 0, "")
+	if !strings.Contains(buf.String(), "(empty)") {
+		t.Error("empty case not handled")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "zeros", []int{0, 0}, 0, "")
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestBarsMarkerAboveMax(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "m", []int{1, 1}, 5, "target")
+	if !strings.Contains(buf.String(), "target") {
+		t.Error("marker above max not rendered")
+	}
+}
+
+func TestSeriesBasic(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "curve", []float64{1, 2, 3, 4}, []float64{1, 4, 9, 16}, 20, 8, false, false)
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+	if !strings.Contains(out, "x: [1, 4]") {
+		t.Errorf("x range missing: %s", out)
+	}
+	if !strings.Contains(out, "16") || !strings.Contains(out, " 1") {
+		t.Error("y extremes missing")
+	}
+}
+
+func TestSeriesLogAxes(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "loglog", []float64{1, 10, 100}, []float64{2, 20, 200}, 30, 6, true, true)
+	out := buf.String()
+	if !strings.Contains(out, "log axes") {
+		t.Error("log axes note missing")
+	}
+	// On log-log a power law is a straight line: the three points should
+	// occupy three distinct columns (coarse structural check).
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("want 3 points, got %d", strings.Count(out, "*"))
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "flat", []float64{1, 2}, []float64{5, 5}, 10, 4, false, false)
+	if buf.Len() == 0 {
+		t.Error("no output for flat series")
+	}
+	var buf2 bytes.Buffer
+	Series(&buf2, "bad", []float64{1}, []float64{1, 2}, 10, 4, false, false)
+	if !strings.Contains(buf2.String(), "(no data)") {
+		t.Error("mismatched input not handled")
+	}
+}
+
+func TestSeriesClampsTinyDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "tiny", []float64{1, 2}, []float64{1, 2}, 1, 1, false, false)
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}

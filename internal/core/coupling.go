@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// This file implements the coupling at the heart of the Destructive
+// Majorization Lemma (Lemma 2) as executable code. The proof couples two
+// copies of RLS — P(k), in configuration ℓ, and P(k+1), in configuration
+// ℓ′ obtained from ℓ by one extra destructive move — by activating the
+// same ball with the same destination rank in both, and shows by a
+// five-case analysis that ℓ′ remains "close to" ℓ: equal, or one
+// destructive move apart. Closeness implies disc(ℓ) ≤ disc(ℓ′)
+// (observation (ii)), so induction over steps yields the stochastic
+// dominance of the lemma.
+//
+// CloseTo is the invariant checker, CoupledStep the coupled transition,
+// and CoupledRun iterates it while asserting the invariant — turning the
+// proof into a property test.
+
+// CloseTo reports whether configuration lp is "close to" configuration l
+// in the sense of §4: lp is obtainable from l by at most one destructive
+// move, comparing configurations as multisets (RLS is ignorant of bin
+// order). Note the relation is asymmetric.
+func CloseTo(l, lp loadvec.Vector) bool {
+	if len(l) != len(lp) {
+		return false
+	}
+	// Multiset difference hist(lp) − hist(l).
+	diff := map[int]int{}
+	for _, x := range lp {
+		diff[x]++
+	}
+	for _, x := range l {
+		diff[x]--
+		if diff[x] == 0 {
+			delete(diff, x)
+		}
+	}
+	if len(diff) == 0 {
+		return true // equal multisets (includes the neutral-move case)
+	}
+	// One destructive move takes a ball from a bin at load v to a bin at
+	// load w with v ≤ w + 1. Neutral moves (v = w+1) leave the multiset
+	// unchanged and were handled above, so v ≤ w here and the histogram
+	// delta has one of two shapes:
+	//   v = w : {v: −2, v−1: +1, v+1: +1}
+	//   v < w : {v: −1, v−1: +1, w: −1, w+1: +1}  (all four keys distinct)
+	switch len(diff) {
+	case 3:
+		// Identify v as the key with delta −2.
+		for v, d := range diff {
+			if d == -2 {
+				return diff[v-1] == 1 && diff[v+1] == 1
+			}
+		}
+		return false
+	case 4:
+		var minus []int
+		for x, d := range diff {
+			switch d {
+			case -1:
+				minus = append(minus, x)
+			case 1:
+			default:
+				return false
+			}
+		}
+		if len(minus) != 2 {
+			return false
+		}
+		v, w := minus[0], minus[1]
+		if v > w {
+			v, w = w, v
+		}
+		return diff[v-1] == 1 && diff[w+1] == 1
+	default:
+		return false
+	}
+}
+
+// closePositions locates the destructive-move endpoints between two
+// sorted-non-increasing configurations with CloseTo(l, lp) and l ≠ lp
+// as multisets: it returns iL < iR with lp[iL] = l[iL]+1 and
+// lp[iR] = l[iR]−1 and lp equal to l elsewhere. (In sorted order the
+// receiving bin of a destructive move sits to the left of the giving bin.)
+func closePositions(l, lp loadvec.Vector) (iL, iR int, err error) {
+	iL, iR = -1, -1
+	for i := range l {
+		switch lp[i] - l[i] {
+		case 0:
+		case 1:
+			if iL != -1 {
+				return 0, 0, fmt.Errorf("core: two +1 positions (%d, %d)", iL, i)
+			}
+			iL = i
+		case -1:
+			if iR != -1 {
+				return 0, 0, fmt.Errorf("core: two -1 positions (%d, %d)", iR, i)
+			}
+			iR = i
+		default:
+			return 0, 0, fmt.Errorf("core: position %d differs by %d", i, lp[i]-l[i])
+		}
+	}
+	if iL == -1 || iR == -1 {
+		return 0, 0, fmt.Errorf("core: configurations do not differ by one move")
+	}
+	if iL >= iR {
+		return 0, 0, fmt.Errorf("core: destructive move goes left-to-right (iL=%d, iR=%d)", iL, iR)
+	}
+	return iL, iR, nil
+}
+
+// binOfBall maps a ball index to its bin under the canonical assignment
+// that fills sorted bins left to right (bin 0 holds balls 0..ℓ_0−1, etc.).
+func binOfBall(v loadvec.Vector, ball int) int {
+	for bin, load := range v {
+		if ball < load {
+			return bin
+		}
+		ball -= load
+	}
+	panic("core: ball index out of range")
+}
+
+// applyRLSAt applies the RLS rule to one activation: a ball in bin src
+// with sampled destination dst moves iff ℓ_src ≥ ℓ_dst + 1. The vector is
+// modified in place and re-sorted by the caller.
+func applyRLSAt(v loadvec.Vector, src, dst int) {
+	if src != dst && v[src] >= v[dst]+1 {
+		v[src]--
+		v[dst]++
+	}
+}
+
+// CoupledStep performs one step of the Lemma 2 coupling. l and lp must be
+// sorted non-increasingly with CloseTo(l, lp). The coupled randomness is
+// (ball, dstRank): the activated ball's index in [0, m) and the sampled
+// destination's rank in [0, n). Both output configurations are returned
+// sorted non-increasingly.
+//
+// Ball indexing follows the proof: balls 0..m−2 occupy the common
+// configuration (ℓ with one ball removed from the giving bin iR), and
+// ball m−1 is the ball on which the processes disagree — it sits in bin
+// iR under P(k) and in bin iL under P(k+1).
+func CoupledStep(l, lp loadvec.Vector, ball, dstRank int) (loadvec.Vector, loadvec.Vector) {
+	n := len(l)
+	if n != len(lp) {
+		panic("core: CoupledStep with mismatched lengths")
+	}
+	m := l.Balls()
+	if ball < 0 || ball >= m || dstRank < 0 || dstRank >= n {
+		panic("core: CoupledStep with out-of-range randomness")
+	}
+	newL := l.Clone()
+	newLP := lp.Clone()
+	if l.Equal(lp) {
+		// Identity coupling: same source bin, same destination.
+		src := binOfBall(l, ball)
+		applyRLSAt(newL, src, dstRank)
+		applyRLSAt(newLP, src, dstRank)
+	} else {
+		iL, iR, err := closePositions(l, lp)
+		if err != nil {
+			panic(err)
+		}
+		// Common configuration c of the m−1 shared balls.
+		c := l.Clone()
+		c[iR]--
+		var srcP, srcPP int
+		if ball == m-1 {
+			srcP, srcPP = iR, iL // the differing ball
+		} else {
+			src := binOfBall(c, ball)
+			srcP, srcPP = src, src
+		}
+		applyRLSAt(newL, srcP, dstRank)
+		applyRLSAt(newLP, srcPP, dstRank)
+	}
+	return newL.SortedDesc(), newLP.SortedDesc()
+}
+
+// CoupledRun iterates the coupling for the given number of steps from
+// sorted configurations (l, lp), drawing the shared randomness from r.
+// It returns the final pair and an error the first time the closeness
+// invariant breaks (which Lemma 2 proves never happens).
+func CoupledRun(l, lp loadvec.Vector, steps int, r *rng.RNG) (loadvec.Vector, loadvec.Vector, error) {
+	l = l.SortedDesc()
+	lp = lp.SortedDesc()
+	if !CloseTo(l, lp) {
+		return l, lp, fmt.Errorf("core: initial configurations not close")
+	}
+	m := l.Balls()
+	n := len(l)
+	for s := 0; s < steps; s++ {
+		ball := r.Intn(m)
+		dstRank := r.Intn(n)
+		l, lp = CoupledStep(l, lp, ball, dstRank)
+		if !CloseTo(l, lp) {
+			return l, lp, fmt.Errorf("core: closeness broken at step %d: %v vs %v", s, l, lp)
+		}
+		if l.Disc() > lp.Disc()+1e-9 {
+			return l, lp, fmt.Errorf("core: disc(ℓ)=%g > disc(ℓ′)=%g at step %d",
+				l.Disc(), lp.Disc(), s)
+		}
+	}
+	return l, lp, nil
+}
+
+// DestructiveMoveOnSorted applies one destructive move to a sorted
+// configuration, moving a ball from the bin at rank srcRank to the bin at
+// rank dstRank (srcRank > dstRank), and returns the re-sorted result. It
+// returns an error if the move is not destructive or not feasible.
+// Experiments use it to construct valid (ℓ, ℓ′) pairs.
+func DestructiveMoveOnSorted(l loadvec.Vector, srcRank, dstRank int) (loadvec.Vector, error) {
+	if srcRank <= dstRank {
+		return nil, fmt.Errorf("core: destructive move must go right to left in sorted order")
+	}
+	if l[srcRank] == 0 {
+		return nil, fmt.Errorf("core: source bin empty")
+	}
+	if !IsDestructiveMove(l, srcRank, dstRank) {
+		return nil, fmt.Errorf("core: move %d→%d is not destructive", srcRank, dstRank)
+	}
+	w := l.Clone()
+	w[srcRank]--
+	w[dstRank]++
+	return w.SortedDesc(), nil
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+func TestCloseToEqual(t *testing.T) {
+	l := loadvec.Vector{3, 2, 1}
+	if !CloseTo(l, l) {
+		t.Fatal("configuration not close to itself")
+	}
+	// Equal as multisets (permuted) is also close.
+	if !CloseTo(l, loadvec.Vector{1, 3, 2}) {
+		t.Fatal("permutation not close")
+	}
+}
+
+func TestCloseToSingleDestructiveMove(t *testing.T) {
+	cases := []struct {
+		l, lp loadvec.Vector
+		want  bool
+	}{
+		// v = w: move between equal bins.
+		{loadvec.Vector{3, 3, 2}, loadvec.Vector{4, 2, 2}, true},
+		// v < w: uphill move 2 -> 3.
+		{loadvec.Vector{3, 2, 2}, loadvec.Vector{4, 2, 1}, true},
+		// Neutral move: multiset unchanged -> close via equality.
+		{loadvec.Vector{3, 2}, loadvec.Vector{2, 3}, true},
+		// An RLS (helpful) move is NOT close: 4 -> 1 in {4,1}: gives {3,2}.
+		{loadvec.Vector{4, 1, 1}, loadvec.Vector{3, 2, 1}, false},
+		// Two destructive moves apart: {3,3,3} -> {5,2,2}.
+		{loadvec.Vector{3, 3, 3}, loadvec.Vector{5, 2, 2}, false},
+		// Different ball counts.
+		{loadvec.Vector{2, 2}, loadvec.Vector{2, 3}, false},
+		// Different bin counts.
+		{loadvec.Vector{2, 2}, loadvec.Vector{2, 2, 0}, false},
+	}
+	for _, c := range cases {
+		if got := CloseTo(c.l, c.lp); got != c.want {
+			t.Errorf("CloseTo(%v, %v) = %v, want %v", c.l, c.lp, got, c.want)
+		}
+	}
+}
+
+// Any configuration plus one random destructive move must be close, and
+// observation (ii) of the proof must hold: disc(ℓ) ≤ disc(ℓ′).
+func TestCloseToRandomDestructiveMoves(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(10)
+		l := make(loadvec.Vector, n)
+		for i := range l {
+			l[i] = r.Intn(6)
+		}
+		src := r.Intn(n)
+		dst := r.Intn(n)
+		if src == dst || l[src] == 0 || !IsDestructiveMove(l, src, dst) {
+			return true
+		}
+		lp := l.Clone()
+		lp[src]--
+		lp[dst]++
+		if !CloseTo(l, lp) {
+			t.Logf("not close: %v -> %v (move %d→%d)", l, lp, src, dst)
+			return false
+		}
+		if l.Disc() > lp.Disc()+1e-9 {
+			t.Logf("disc increased the wrong way: %v=%g vs %v=%g", l, l.Disc(), lp, lp.Disc())
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosePositions(t *testing.T) {
+	l := loadvec.Vector{5, 4, 3, 2}
+	lp, err := DestructiveMoveOnSorted(l, 3, 1) // 2 -> 4: gives {5,5,3,1}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lp.Equal(loadvec.Vector{5, 5, 3, 1}) {
+		t.Fatalf("lp = %v", lp)
+	}
+	iL, iR, err := closePositions(l, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iL != 1 || iR != 3 {
+		t.Fatalf("positions = (%d, %d), want (1, 3)", iL, iR)
+	}
+}
+
+func TestClosePositionsErrors(t *testing.T) {
+	l := loadvec.Vector{3, 2, 1}
+	if _, _, err := closePositions(l, l); err == nil {
+		t.Error("equal configurations accepted")
+	}
+	if _, _, err := closePositions(l, loadvec.Vector{5, 2, 1}); err == nil {
+		t.Error("+2 difference accepted")
+	}
+}
+
+func TestDestructiveMoveOnSortedErrors(t *testing.T) {
+	l := loadvec.Vector{5, 1, 0}
+	if _, err := DestructiveMoveOnSorted(l, 0, 1); err == nil {
+		t.Error("left-to-right move accepted")
+	}
+	if _, err := DestructiveMoveOnSorted(l, 2, 0); err == nil {
+		t.Error("move from empty bin accepted")
+	}
+	if _, err := DestructiveMoveOnSorted(l, 1, 0); err != nil {
+		t.Errorf("valid destructive move rejected: %v", err)
+	}
+	// In sorted order every right-to-left move between non-empty source
+	// and any destination satisfies ℓ_src ≤ ℓ_dst + 1, i.e. is
+	// destructive — the proof's "from Right (iR) to Left (iL)" remark.
+	l2 := loadvec.Vector{5, 5, 1}
+	for src := 1; src < len(l2); src++ {
+		for dst := 0; dst < src; dst++ {
+			if !IsDestructiveMove(l2, src, dst) {
+				t.Errorf("sorted right-to-left move %d→%d not destructive", src, dst)
+			}
+		}
+	}
+}
+
+func TestBinOfBall(t *testing.T) {
+	v := loadvec.Vector{3, 0, 2}
+	wants := []int{0, 0, 0, 2, 2}
+	for ball, want := range wants {
+		if got := binOfBall(v, ball); got != want {
+			t.Errorf("binOfBall(%d) = %d, want %d", ball, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range ball accepted")
+		}
+	}()
+	binOfBall(v, 5)
+}
+
+// Exhaustive check of the Lemma 2 inductive step on small configurations:
+// for every sorted configuration of ≤ 9 balls in 4 bins, every destructive
+// move creating ℓ′, and every coupled random choice (ball, dstRank), the
+// step preserves closeness. This enumerates every case of the proof's
+// analysis (cases 1-5 and their subcases).
+func TestCoupledStepExhaustiveSmall(t *testing.T) {
+	const n = 4
+	var configs []loadvec.Vector
+	var gen func(prefix loadvec.Vector, remaining, maxNext int)
+	gen = func(prefix loadvec.Vector, remaining, maxNext int) {
+		if len(prefix) == n {
+			if remaining == 0 && prefix.Balls() > 0 {
+				configs = append(configs, prefix.Clone())
+			}
+			return
+		}
+		for v := min(remaining, maxNext); v >= 0; v-- {
+			gen(append(prefix, v), remaining-v, v)
+		}
+	}
+	for m := 1; m <= 9; m++ {
+		gen(loadvec.Vector{}, m, m)
+	}
+	if len(configs) < 50 {
+		t.Fatalf("only %d configurations generated", len(configs))
+	}
+	checked := 0
+	for _, l := range configs {
+		m := l.Balls()
+		for srcRank := 1; srcRank < n; srcRank++ {
+			for dstRank := 0; dstRank < srcRank; dstRank++ {
+				lp, err := DestructiveMoveOnSorted(l, srcRank, dstRank)
+				if err != nil {
+					continue
+				}
+				for ball := 0; ball < m; ball++ {
+					for dr := 0; dr < n; dr++ {
+						nl, nlp := CoupledStep(l, lp, ball, dr)
+						if !CloseTo(nl, nlp) {
+							t.Fatalf("closeness broken: l=%v lp=%v ball=%d dst=%d -> %v vs %v",
+								l, lp, ball, dr, nl, nlp)
+						}
+						if nl.Disc() > nlp.Disc()+1e-9 {
+							t.Fatalf("majorization broken: l=%v lp=%v ball=%d dst=%d -> disc %g > %g",
+								l, lp, ball, dr, nl.Disc(), nlp.Disc())
+						}
+						checked++
+					}
+				}
+			}
+		}
+	}
+	if checked < 5000 {
+		t.Fatalf("only %d coupled steps checked", checked)
+	}
+	t.Logf("verified %d coupled steps across %d configurations", checked, len(configs))
+}
+
+// Randomized multi-step coupling runs: closeness and the per-step
+// discrepancy comparison hold along entire trajectories.
+func TestCoupledRunProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(8)
+		l := make(loadvec.Vector, n)
+		for i := range l {
+			l[i] = r.Intn(8)
+		}
+		if l.Balls() == 0 {
+			l[0] = 3
+		}
+		l = l.SortedDesc()
+		// Build lp with one random destructive move (retry a few times).
+		var lp loadvec.Vector
+		for tries := 0; tries < 20; tries++ {
+			srcRank := 1 + r.Intn(n-1)
+			dstRank := r.Intn(srcRank)
+			if cand, err := DestructiveMoveOnSorted(l, srcRank, dstRank); err == nil {
+				lp = cand
+				break
+			}
+		}
+		if lp == nil {
+			return true // no destructive move available (e.g. all mass in bin 0)
+		}
+		_, _, err := CoupledRun(l, lp, 300, r)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The identity coupling: starting from equal configurations, both
+// processes stay equal forever.
+func TestCoupledRunIdentity(t *testing.T) {
+	r := rng.New(5)
+	l := loadvec.Vector{6, 3, 2, 1}.SortedDesc()
+	a, b, err := CoupledRun(l, l.Clone(), 500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("identity coupling diverged: %v vs %v", a, b)
+	}
+}
+
+func TestCoupledRunRejectsNonClose(t *testing.T) {
+	l := loadvec.Vector{5, 1}
+	lp := loadvec.Vector{3, 3} // an RLS move away, not destructive
+	if _, _, err := CoupledRun(l, lp, 10, rng.New(1)); err == nil {
+		t.Fatal("non-close pair accepted")
+	}
+}
+
+func TestCoupledStepPanics(t *testing.T) {
+	l := loadvec.Vector{2, 1}
+	for _, tc := range []struct {
+		name       string
+		lp         loadvec.Vector
+		ball, rank int
+	}{
+		{"bad ball", l, 5, 0},
+		{"bad rank", l, 0, 7},
+		{"length mismatch", loadvec.Vector{2, 1, 0}, 0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			CoupledStep(l, tc.lp, tc.ball, tc.rank)
+		}()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/loadvec"
+)
+
+// FuzzCoupledStep drives the Lemma 2 coupling with fuzzer-chosen
+// configurations and random choices; the closeness invariant and the
+// discrepancy majorization must hold for every input the fuzzer finds.
+func FuzzCoupledStep(f *testing.F) {
+	f.Add([]byte{5, 3, 2, 1}, uint8(2), uint8(0), uint8(3), uint8(1))
+	f.Add([]byte{9, 0, 0}, uint8(1), uint8(0), uint8(0), uint8(2))
+	f.Add([]byte{4, 4, 4, 4}, uint8(3), uint8(1), uint8(7), uint8(0))
+	f.Fuzz(func(t *testing.T, loads []byte, srcRank, dstRank, ballRaw, drRaw uint8) {
+		if len(loads) < 2 || len(loads) > 12 {
+			return
+		}
+		l := make(loadvec.Vector, len(loads))
+		m := 0
+		for i, b := range loads {
+			l[i] = int(b % 16)
+			m += l[i]
+		}
+		if m == 0 {
+			return
+		}
+		l = l.SortedDesc()
+		n := len(l)
+		sr := int(srcRank) % n
+		dr := int(dstRank) % n
+		if sr <= dr {
+			return
+		}
+		lp, err := DestructiveMoveOnSorted(l, sr, dr)
+		if err != nil {
+			return
+		}
+		ball := int(ballRaw) % m
+		dstR := int(drRaw) % n
+		nl, nlp := CoupledStep(l, lp, ball, dstR)
+		if !CloseTo(nl, nlp) {
+			t.Fatalf("closeness broken: l=%v lp=%v ball=%d dst=%d -> %v / %v",
+				l, lp, ball, dstR, nl, nlp)
+		}
+		if nl.Disc() > nlp.Disc()+1e-9 {
+			t.Fatalf("majorization broken: %v (%.3f) vs %v (%.3f)",
+				nl, nl.Disc(), nlp, nlp.Disc())
+		}
+		if nl.Balls() != m || nlp.Balls() != m {
+			t.Fatal("ball count changed in coupled step")
+		}
+	})
+}
+
+// FuzzClassifyConsistency checks the §4 classification laws on arbitrary
+// configurations: protocol ∪ destructive covers all legal moves, their
+// intersection is exactly the neutral moves, and a move plus its reversal
+// never both qualify as (non-neutral) protocol moves.
+func FuzzClassifyConsistency(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5}, uint8(0), uint8(1))
+	f.Add([]byte{2, 2}, uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, loads []byte, srcRaw, dstRaw uint8) {
+		if len(loads) < 2 || len(loads) > 16 {
+			return
+		}
+		v := make(loadvec.Vector, len(loads))
+		for i, b := range loads {
+			v[i] = int(b % 32)
+		}
+		n := len(v)
+		src := int(srcRaw) % n
+		dst := int(dstRaw) % n
+		kind := Classify(v, src, dst)
+		if src == dst || v[src] == 0 {
+			if kind != Illegal {
+				t.Fatalf("illegal move classified as %v", kind)
+			}
+			return
+		}
+		if kind == Illegal {
+			t.Fatal("legal move classified as illegal")
+		}
+		p := IsProtocolMove(v, src, dst)
+		d := IsDestructiveMove(v, src, dst)
+		if !p && !d {
+			t.Fatalf("move %d→%d in %v neither protocol nor destructive", src, dst, v)
+		}
+		if (p && d) != (kind == Neutral) {
+			t.Fatalf("neutral characterization broken for %d→%d in %v", src, dst, v)
+		}
+		// Perform the move; the reversal's classification must mirror it.
+		w := v.Clone()
+		w[src]--
+		w[dst]++
+		if p && !IsDestructiveMove(w, dst, src) {
+			t.Fatal("reversal of a protocol move is not destructive")
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file implements the *reduced processes* that the paper's proofs
+// construct via Lemma 2: simplified dynamics in which inconvenient moves
+// are ignored (reversible by destructive moves) and only one kind of
+// progress event is awaited. Each reduction's hitting time has an exact
+// distributional characterization which the tests check against both the
+// paper's formulas and the full protocol's measured behaviour.
+
+// Lemma8Reduction simulates the reduced process from the proof of
+// Lemma 8 (m ≤ n): all balls start in one bin, and we wait for each ball
+// to move to its own empty bin, ignoring every other move. With r balls
+// left in the stack there are ≥ r−1 empty bins among the other n−1 bins,
+// and the paper waits for one of the r balls to activate and hit one of
+// exactly r−1 designated empty bins: an Exp(r(r−1)/n) wait. The total is
+// Σ_{r=2..m} Exp(r(r−1)/n), with mean Σ n/(r(r−1)) = n(1−1/m) < 2n.
+//
+// It returns the sampled total time.
+func Lemma8Reduction(n, m int, r *rng.RNG) float64 {
+	if m > n {
+		panic("core: Lemma8Reduction requires m <= n")
+	}
+	total := 0.0
+	for balls := m; balls >= 2; balls-- {
+		rate := float64(balls) * float64(balls-1) / float64(n)
+		total += r.Exp(rate)
+	}
+	return total
+}
+
+// Lemma9Reduction simulates the initial phase from the proof of Lemma 9
+// (m = kn + r balls, all stacked in bin 1): wait for r balls to move to
+// r distinct empty bins, ignoring any other move. The i-th such move
+// waits Exp((kn+r−i+1)(n−i)/n): the stack still holds kn+r−i+1 balls,
+// and n−i of the other bins remain designated-empty. The paper computes
+// E[T′] < Σ 1/(n−i) = O(ln n) and Var[T′] = O(1) (equations (6)–(7)).
+//
+// It returns the sampled phase time.
+func Lemma9Reduction(n, k, rem int, r *rng.RNG) float64 {
+	if rem < 0 || rem >= n {
+		panic("core: Lemma9Reduction remainder out of range")
+	}
+	total := 0.0
+	for i := 1; i <= rem; i++ {
+		balls := k*n + rem - i + 1
+		rate := float64(balls) * float64(n-i) / float64(n)
+		total += r.Exp(rate)
+	}
+	return total
+}
+
+// Lemma9ReductionMeanVar returns the exact mean and an upper bound on
+// the variance of the Lemma 9 initial phase (equations (6) and (7)):
+// E[T′] = Σ_{i=1..r} n/((kn+r−i+1)(n−i)) and
+// Var[T′] = Σ (n/((kn+r−i+1)(n−i)))².
+func Lemma9ReductionMeanVar(n, k, rem int) (mean, variance float64) {
+	for i := 1; i <= rem; i++ {
+		rate := float64(k*n+rem-i+1) * float64(n-i) / float64(n)
+		mean += 1 / rate
+		variance += 1 / (rate * rate)
+	}
+	return
+}
+
+// Lemma10Reduction simulates the emptying process from the proofs of
+// Lemmas 10/11: all m balls stacked in bin 1; T′ is the time until m−∅
+// balls have left for the other n−1 bins, where the i-th departure (at
+// stack height i) waits Exp(i(n−1)/n). The paper computes
+// E[T′] ≤ 2 ln n and Var[T′] = O(1/∅) (equations (8)–(9)).
+//
+// It returns the sampled T′.
+func Lemma10Reduction(n, m int, r *rng.RNG) float64 {
+	avg := m / n
+	total := 0.0
+	for i := m; i > avg; i-- {
+		rate := float64(i) * float64(n-1) / float64(n)
+		total += r.Exp(rate)
+	}
+	return total
+}
+
+// Lemma10ReductionMeanVar returns the exact mean and variance of the
+// Lemma 10 emptying time: Σ_{i=∅+1..m} (n/(i(n−1)))^{1,2}.
+func Lemma10ReductionMeanVar(n, m int) (mean, variance float64) {
+	avg := m / n
+	for i := avg + 1; i <= m; i++ {
+		x := float64(n) / (float64(i) * float64(n-1))
+		mean += x
+		variance += x * x
+	}
+	return
+}
+
+// Lemma15Reduction simulates the overloaded-ball decay process from the
+// proof of Lemma 15: with A overloaded balls and discrepancy ≤ c·ln n,
+// there are h ≥ Ω(A/ln n) overloaded bins holding ≥ h·∅ balls, and a
+// fix event (overloaded ball sampling an underloaded bin) arrives at
+// rate ≥ h·∅·k/n with k ≥ Ω(A/ln n). The reduction waits for fixes at
+// the proof's pessimistic rate ∅·A²/((c·ln n)²·n) until A ≤ n, so its
+// duration realizes the O((ln n)²/∅) bound.
+//
+// It returns the sampled time to bring A overloaded balls down to n.
+func Lemma15Reduction(n, m, startA int, c float64, r *rng.RNG) float64 {
+	if c <= 0 {
+		panic("core: Lemma15Reduction needs a positive log-constant")
+	}
+	avg := float64(m) / float64(n)
+	logn := c * math.Log(float64(n))
+	total := 0.0
+	for a := startA; a > n; a-- {
+		rate := avg * float64(a) * float64(a) / (logn * logn * float64(n))
+		total += r.Exp(rate)
+	}
+	return total
+}
+
+// Lemma15ReductionMean returns the expectation of Lemma15Reduction:
+// Σ_{a=n+1..A} (c·ln n)²·n/(∅·a²) ≤ (c·ln n)²/∅ · n·Σ_{a>n} a^{-2}
+// = O((ln n)²/∅), the Lemma 15 bound.
+func Lemma15ReductionMean(n, m, startA int, c float64) float64 {
+	avg := float64(m) / float64(n)
+	logn := c * math.Log(float64(n))
+	mean := 0.0
+	for a := startA; a > n; a-- {
+		mean += logn * logn * float64(n) / (avg * float64(a) * float64(a))
+	}
+	return mean
+}
+
+// Lemma17Reduction simulates the Phase 3 reduced process: A imbalanced
+// (+1/−1) pairs; with a pairs remaining there are > ∅·a balls that fix a
+// hole with probability a/n upon activation, so the next fix waits at
+// most Exp(∅a²/n) (the paper's bound; the reduction uses exactly that
+// rate). Total: Σ_{a=1..A} Exp(∅a²/n), mean Σ n/(∅a²) ≤ (π²/6)n/∅.
+func Lemma17Reduction(n, m, pairs int, r *rng.RNG) float64 {
+	avg := float64(m) / float64(n)
+	total := 0.0
+	for a := pairs; a >= 1; a-- {
+		rate := avg * float64(a) * float64(a) / float64(n)
+		total += r.Exp(rate)
+	}
+	return total
+}

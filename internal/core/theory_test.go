@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestHarmonic(t *testing.T) {
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {3, 1.5 + 1.0/3}, {4, 1.5 + 1.0/3 + 0.25},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("H_%d = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if Harmonic(-3) != 0 {
+		t.Error("negative k should give 0")
+	}
+}
+
+func TestHarmonicAsymptoticConsistency(t *testing.T) {
+	// The exact sum at k=256 and the expansion at k=257 must be within
+	// 1e-10 of each other's extrapolation.
+	exact := 0.0
+	for i := 1; i <= 257; i++ {
+		exact += 1 / float64(i)
+	}
+	if got := Harmonic(257); math.Abs(got-exact) > 1e-10 {
+		t.Fatalf("Harmonic(257) = %.15g, exact %.15g", got, exact)
+	}
+	// Growth ~ ln k.
+	if math.Abs(Harmonic(100000)-math.Log(100000)-0.5772156649) > 1e-4 {
+		t.Error("asymptotics off")
+	}
+}
+
+func TestTheorem1Formulas(t *testing.T) {
+	// m >> n²: the ln n term dominates.
+	if v := Theorem1Expectation(100, 1000000); math.Abs(v-math.Log(100)-0.01) > 1e-12 {
+		t.Errorf("Theorem1Expectation = %g", v)
+	}
+	// m = n: the n²/m = n term dominates.
+	if v := Theorem1Expectation(100, 100); v < 100 {
+		t.Errorf("Theorem1Expectation(100,100) = %g, want >= 100", v)
+	}
+	// WHP bound is always >= expectation bound (ln n ≥ 1 for n ≥ 3).
+	for _, nm := range [][2]int{{8, 8}, {64, 4096}, {1024, 1024}} {
+		if Theorem1WHP(nm[0], nm[1]) < Theorem1Expectation(nm[0], nm[1])-1e-9 {
+			t.Errorf("WHP bound below expectation bound at %v", nm)
+		}
+	}
+}
+
+func TestLowerBoundAllInOne(t *testing.T) {
+	// H_m − H_∅ with m = n: H_n − H_1 ≈ ln n − (1 − γ).
+	got := LowerBoundAllInOne(1000, 1000)
+	want := Harmonic(1000) - 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+	// Ω(ln n) for m = n·ln n as well.
+	n := 1024
+	m := n * 7
+	if LowerBoundAllInOne(n, m) < 0.5*math.Log(float64(n))-3 {
+		t.Error("lower bound should be Ω(ln n)")
+	}
+}
+
+func TestLowerBoundDeltaPair(t *testing.T) {
+	// n/(∅+1): exact for the ±1 configuration.
+	if got := LowerBoundDeltaPair(100, 900); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("got %g, want 10", got)
+	}
+}
+
+func TestLemma8Bound(t *testing.T) {
+	// Σ_{r=2..m} n/(r(r−1)) = n·(1 − 1/m) by telescoping.
+	n, m := 50, 10
+	want := float64(n) * (1 - 1.0/float64(m))
+	if got := Lemma8Bound(n, m); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+	// Always < 2n as the paper states (indeed < n).
+	if Lemma8Bound(100, 100) >= 200 {
+		t.Error("bound exceeds 2n")
+	}
+}
+
+func TestChernoffBoundsHoldEmpirically(t *testing.T) {
+	// Sample Bin(n, p) and verify the Lemma 3 tail bounds hold (they are
+	// upper bounds, so empirical frequencies must not exceed them beyond
+	// noise).
+	r := rng.New(42)
+	const draws = 100000
+	nTrials, p := int64(2000), 0.05 // np = 100
+	np := float64(nTrials) * p
+	eps := 0.5
+	exceed := 0
+	big := 0
+	R := 6 * np
+	for i := 0; i < draws; i++ {
+		v := float64(r.Binomial(nTrials, p))
+		if math.Abs(v-np) > eps*np {
+			exceed++
+		}
+		if v >= R {
+			big++
+		}
+	}
+	empirical := float64(exceed) / draws
+	bound := ChernoffSmallDeviation(np, eps)
+	if empirical > bound+0.01 {
+		t.Errorf("deviation frequency %g exceeds Chernoff bound %g", empirical, bound)
+	}
+	if big != 0 { // P(Bin ≥ 6np) ≤ 2^{-600}: should never happen
+		t.Errorf("saw %d draws above 6np", big)
+	}
+}
+
+func TestLemma4TailHoldsEmpirically(t *testing.T) {
+	// X = sum of k exponentials with rate λ; check P(X ≥ E[X]+δ) against
+	// the Lemma 4 bound.
+	r := rng.New(43)
+	const k = 20
+	lambda := 2.0
+	meanX := float64(k) / lambda
+	varX := float64(k) / (lambda * lambda)
+	delta := 8.0
+	const draws = 200000
+	count := 0
+	for i := 0; i < draws; i++ {
+		x := 0.0
+		for j := 0; j < k; j++ {
+			x += r.Exp(lambda)
+		}
+		if x >= meanX+delta {
+			count++
+		}
+	}
+	empirical := float64(count) / draws
+	bound := Lemma4Tail(lambda, varX, delta)
+	if empirical > bound {
+		t.Errorf("empirical tail %g exceeds Lemma 4 bound %g", empirical, bound)
+	}
+	if bound > 1 {
+		t.Logf("note: bound %g is vacuous for these parameters", bound)
+	}
+}
+
+func TestLemma5TailHoldsEmpirically(t *testing.T) {
+	// Σ c_i Y_i with Y_i ~ Geometric(p), c_i = 1: compare the tail at
+	// t = 3·E against the Lemma 5 bound.
+	r := rng.New(44)
+	const k = 10
+	p := 0.5
+	M, S, V := 1.0, float64(k), float64(k)
+	tval := 3 * float64(k) / p
+	const draws = 200000
+	count := 0
+	for i := 0; i < draws; i++ {
+		sum := 0.0
+		for j := 0; j < k; j++ {
+			sum += float64(r.Geometric(p))
+		}
+		if sum >= tval {
+			count++
+		}
+	}
+	empirical := float64(count) / draws
+	bound := Lemma5Tail(p, M, S, V, tval)
+	if empirical > bound {
+		t.Errorf("empirical tail %g exceeds Lemma 5 bound %g", empirical, bound)
+	}
+}
+
+func TestLemma13Helpers(t *testing.T) {
+	n := 1024
+	x := 100.0
+	shrunk := Lemma13Shrink(x, n)
+	want := 2 * math.Sqrt(x*math.Log(float64(n)))
+	if math.Abs(shrunk-want) > 1e-12 {
+		t.Fatalf("shrink = %g, want %g", shrunk, want)
+	}
+	// Epoch length ln((∅+x)/(∅−x)) ≤ 4x/∅ for x ≤ ∅/2 (used in the
+	// Lemma 12 proof).
+	avg := 250.0
+	el := Lemma13EpochLength(avg, x)
+	if el <= 0 || el > 4*x/avg+1e-9 {
+		t.Fatalf("epoch length %g outside (0, 4x/∅]", el)
+	}
+}
+
+func TestLemma12Iterations(t *testing.T) {
+	if Lemma12Iterations(2) != 1 {
+		t.Error("tiny average should give 1 iteration")
+	}
+	// log2 log2 65536 = log2 16 = 4.
+	if got := Lemma12Iterations(65536); got != 4 {
+		t.Errorf("iterations(65536) = %d, want 4", got)
+	}
+	// Monotone growth, doubly logarithmic: even for 2^64 only 6.
+	if got := Lemma12Iterations(math.Pow(2, 64)); got != 6 {
+		t.Errorf("iterations(2^64) = %d, want 6", got)
+	}
+}
+
+func TestChernoffLargeTail(t *testing.T) {
+	if got := ChernoffLargeTail(10); math.Abs(got-1.0/1024) > 1e-15 {
+		t.Fatalf("2^-10 = %g", got)
+	}
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsQuick runs every registered experiment at Quick scale:
+// the end-to-end gate that the whole reproduction pipeline — substrates,
+// protocols, extensions, statistics — works together. Runtime-heavy, so
+// skipped under -short.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			start := time.Now()
+			tb := e.Run(RunConfig{Seed: 7, Scale: Quick})
+			if tb == nil {
+				t.Fatal("nil table")
+			}
+			if tb.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tb.ID, e.ID)
+			}
+			if len(tb.Rows) == 0 {
+				t.Error("empty table")
+			}
+			var buf bytes.Buffer
+			tb.Render(&buf)
+			if buf.Len() == 0 {
+				t.Error("empty rendering")
+			}
+			t.Logf("%s: %d rows in %v", e.ID, len(tb.Rows), time.Since(start))
+		})
+	}
+}

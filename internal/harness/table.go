@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is an experiment's output: a titled grid of cells plus free-form
+// notes (measurement conditions, verdicts).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given identity and column headers.
+func NewTable(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns}
+}
+
+// Add appends a row; the cell count must match the column count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row with %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted values: each value is rendered with %v
+// for strings/ints and %.4g for floats.
+func (t *Table) Addf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Add(cells...)
+}
+
+// Note appends a free-form note rendered under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned plain-text rendering.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// RenderCSV writes an RFC-4180-ish CSV rendering (cells are quoted when
+// they contain commas or quotes).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeCSVRow(w, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(w, row)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		parts[i] = c
+	}
+	fmt.Fprintln(w, strings.Join(parts, ","))
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}

@@ -1,0 +1,478 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split()
+	b := root.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams collided on %d of 1000 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(99).Split()
+	b := New(99).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %g", i, c, want)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 100000; i++ {
+		if r.Float64Open() == 0 {
+			t.Fatal("Float64Open returned 0")
+		}
+	}
+}
+
+func TestExpMeanAndVariance(t *testing.T) {
+	r := New(8)
+	for _, lambda := range []float64{0.5, 1, 3, 10} {
+		const draws = 100000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			x := r.Exp(lambda)
+			if x < 0 {
+				t.Fatalf("Exp(%g) negative", lambda)
+			}
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / draws
+		variance := sumsq/draws - mean*mean
+		if math.Abs(mean-1/lambda) > 4/lambda/math.Sqrt(draws)*3 {
+			t.Errorf("Exp(%g) mean = %g, want %g", lambda, mean, 1/lambda)
+		}
+		if math.Abs(variance-1/(lambda*lambda)) > 0.1/(lambda*lambda) {
+			t.Errorf("Exp(%g) var = %g, want %g", lambda, variance, 1/(lambda*lambda))
+		}
+	}
+}
+
+func TestExpMemorylessTail(t *testing.T) {
+	// P(X > 1/lambda) should be e^{-1}.
+	r := New(9)
+	const draws = 100000
+	lambda := 2.0
+	count := 0
+	for i := 0; i < draws; i++ {
+		if r.Exp(lambda) > 1/lambda {
+			count++
+		}
+	}
+	got := float64(count) / draws
+	want := math.Exp(-1)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("P(Exp > mean) = %g, want %g", got, want)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(10)
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 1.0} {
+		const draws = 50000
+		var sum int64
+		for i := 0; i < draws; i++ {
+			g := r.Geometric(p)
+			if g < 1 {
+				t.Fatalf("Geometric(%g) = %d < 1", p, g)
+			}
+			sum += g
+		}
+		mean := float64(sum) / draws
+		want := 1 / p
+		if math.Abs(mean-want) > 0.05*want+0.01 {
+			t.Errorf("Geometric(%g) mean = %g, want %g", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricMatchesExactPMF(t *testing.T) {
+	r := New(12)
+	p := 0.3
+	const draws = 200000
+	counts := map[int64]int{}
+	for i := 0; i < draws; i++ {
+		counts[r.Geometric(p)]++
+	}
+	for k := int64(1); k <= 5; k++ {
+		want := math.Pow(1-p, float64(k-1)) * p
+		got := float64(counts[k]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(G=%d) = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(13)
+	if v := r.Binomial(0, 0.5); v != 0 {
+		t.Errorf("Bin(0, .5) = %d", v)
+	}
+	if v := r.Binomial(10, 0); v != 0 {
+		t.Errorf("Bin(10, 0) = %d", v)
+	}
+	if v := r.Binomial(10, 1); v != 10 {
+		t.Errorf("Bin(10, 1) = %d", v)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(14)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{10, 0.5},    // tiny, geometric-skip path
+		{100, 0.05},  // small mean path
+		{1000, 0.3},  // BTRS path
+		{5000, 0.77}, // BTRS via flipped p
+	}
+	for _, c := range cases {
+		const draws = 40000
+		var sum, sumsq float64
+		for i := 0; i < draws; i++ {
+			v := r.Binomial(c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Bin(%d,%g) = %d out of range", c.n, c.p, v)
+			}
+			f := float64(v)
+			sum += f
+			sumsq += f * f
+		}
+		mean := sum / draws
+		variance := sumsq/draws - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		seMean := math.Sqrt(wantVar / draws)
+		if math.Abs(mean-wantMean) > 5*seMean {
+			t.Errorf("Bin(%d,%g) mean = %g, want %g (±%g)", c.n, c.p, mean, wantMean, 5*seMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Bin(%d,%g) var = %g, want %g", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialSmallPMF(t *testing.T) {
+	// Compare against exact PMF for n=6, p=0.4.
+	r := New(15)
+	const n = 6
+	p := 0.4
+	const draws = 300000
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	choose := []float64{1, 6, 15, 20, 15, 6, 1}
+	for k := 0; k <= n; k++ {
+		want := choose[k] * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+		got := float64(counts[k]) / draws
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("P(Bin=%d) = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(16)
+	for _, mean := range []float64{0.5, 5, 50, 500} {
+		const draws = 40000
+		var sum, sumsq float64
+		for i := 0; i < draws; i++ {
+			v := float64(r.Poisson(mean))
+			if v < 0 {
+				t.Fatalf("Poisson(%g) negative", mean)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		gotMean := sum / draws
+		gotVar := sumsq/draws - gotMean*gotMean
+		se := math.Sqrt(mean / draws)
+		if math.Abs(gotMean-mean) > 6*se {
+			t.Errorf("Poisson(%g) mean = %g", mean, gotMean)
+		}
+		if math.Abs(gotVar-mean) > 0.1*mean {
+			t.Errorf("Poisson(%g) var = %g", mean, gotVar)
+		}
+	}
+}
+
+func TestZipfSupport(t *testing.T) {
+	r := New(17)
+	z := NewZipf(50, 1.1)
+	for i := 0; i < 10000; i++ {
+		v := z.Draw(r)
+		if v < 1 || v > 50 {
+			t.Fatalf("Zipf draw %d out of [1,50]", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With s=2 the first element should carry ~ 1/zeta(2) limited to n=100
+	// of the mass; check it dominates element 2 by roughly 4x.
+	r := New(18)
+	z := NewZipf(100, 2)
+	const draws = 100000
+	counts := make([]int, 101)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("count(1)/count(2) = %g, want ~4", ratio)
+	}
+}
+
+func TestZipfExactCDF(t *testing.T) {
+	z := NewZipf(4, 1)
+	// weights 1, 1/2, 1/3, 1/4; total 25/12
+	total := 1.0 + 0.5 + 1.0/3 + 0.25
+	want := []float64{1 / total, 1.5 / total, (1.5 + 1.0/3) / total, 1}
+	for i, w := range want {
+		if math.Abs(z.cum[i]-w) > 1e-12 {
+			t.Errorf("cum[%d] = %g, want %g", i, z.cum[i], w)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	err := quick.Check(func(seed uint64) bool {
+		rr := New(seed)
+		n := 1 + rr.Intn(200)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	r := New(20)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		p := r.Perm(n)
+		counts[p[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("P(first=%d) count %d, want ~%g", i, c, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(21)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	const draws = 100000
+	count := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.3) {
+			count++
+		}
+	}
+	got := float64(count) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %g", got)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(22)
+	const draws = 200000
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / draws
+	variance := sumsq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal var = %g", variance)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1024)
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exp(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink = r.Binomial(100000, 0.3)
+	}
+	_ = sink
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// A Mover is a sequential protocol's decision rule: given the current
+// configuration and the bin of the activated ball, it samples whatever
+// candidates it needs from r and decides where (if anywhere) the ball
+// goes. RLS is the canonical Mover; the paper's §3 remark variant and the
+// graph-restricted extension are others.
+type Mover interface {
+	// Decide returns the destination bin and whether the ball moves.
+	// If move is false, dst is ignored.
+	Decide(cfg *loadvec.Config, src int, r *rng.RNG) (dst int, move bool)
+	// Name identifies the protocol.
+	Name() string
+}
+
+// Engine drives one continuous-time run: it repeatedly advances time by an
+// Exp(m) gap, activates a uniformly random ball, and applies the Mover's
+// decision. Adversaries (Lemma 2) may inject extra moves through
+// ForceMove from a PostMove hook.
+type Engine struct {
+	cfg     *loadvec.Config
+	sampler ActivationSampler
+	gaps    GapSampler // non-nil when the sampler owns event timing
+	mover   Mover
+	r       *rng.RNG
+
+	time        float64
+	activations int64
+	moves       int64
+	forced      int64
+
+	// PostMove, if non-nil, runs after every protocol move with the move's
+	// endpoints. It may call ForceMove; Lemma 2's adversary lives here.
+	PostMove func(e *Engine, src, dst int)
+}
+
+// NewEngine builds an engine over a copy of the initial configuration.
+// If sampler is nil a BallList sampler is used.
+func NewEngine(initial loadvec.Vector, mover Mover, sampler ActivationSampler, r *rng.RNG) *Engine {
+	if r == nil {
+		panic("sim: NewEngine with nil RNG")
+	}
+	if mover == nil {
+		panic("sim: NewEngine with nil mover")
+	}
+	if sampler == nil {
+		sampler = NewBallList()
+	}
+	sampler.Reset(initial)
+	e := &Engine{
+		cfg:     loadvec.NewConfig(initial),
+		sampler: sampler,
+		mover:   mover,
+		r:       r,
+	}
+	if gs, ok := sampler.(GapSampler); ok {
+		e.gaps = gs
+	}
+	return e
+}
+
+// Cfg exposes the live configuration (read-only use expected; mutate only
+// through ForceMove so the sampler stays in sync).
+func (e *Engine) Cfg() *loadvec.Config { return e.cfg }
+
+// Time returns the elapsed continuous time.
+func (e *Engine) Time() float64 { return e.time }
+
+// Activations returns the number of ball activations so far.
+func (e *Engine) Activations() int64 { return e.activations }
+
+// Moves returns the number of protocol moves so far.
+func (e *Engine) Moves() int64 { return e.moves }
+
+// ForcedMoves returns the number of adversarial moves injected so far.
+func (e *Engine) ForcedMoves() int64 { return e.forced }
+
+// RNG returns the engine's random stream (adversaries may share it).
+func (e *Engine) RNG() *rng.RNG { return e.r }
+
+// Step performs one activation and returns whether the ball moved.
+// Timing: samplers that own event timing (GapSampler, i.e. the literal
+// per-ball-clock EventHeap) supply the inter-activation gap; otherwise
+// the engine draws Exp(m) — the superposition of m rate-1 clocks.
+func (e *Engine) Step() bool {
+	if e.gaps != nil {
+		e.time += e.gaps.NextGap(e.r)
+	} else {
+		e.time += e.r.Exp(float64(e.cfg.M()))
+	}
+	src := e.sampler.Sample(e.r)
+	dst, move := e.mover.Decide(e.cfg, src, e.r)
+	e.activations++
+	if !move || dst == src {
+		return false
+	}
+	e.cfg.Move(src, dst)
+	e.sampler.MoveBall(src, dst)
+	e.moves++
+	if e.PostMove != nil {
+		e.PostMove(e, src, dst)
+	}
+	return true
+}
+
+// ForceMove applies a move outside the protocol (adversarial/destructive),
+// keeping the sampler in sync. It does not advance time: the DML adversary
+// acts instantaneously after protocol moves.
+func (e *Engine) ForceMove(src, dst int) {
+	e.cfg.Move(src, dst)
+	e.sampler.MoveBall(src, dst)
+	e.forced++
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Time is the continuous time at which the run stopped.
+	Time float64
+	// Activations and Moves count ball activations and successful moves.
+	Activations, Moves int64
+	// ForcedMoves counts adversarial moves.
+	ForcedMoves int64
+	// Stopped reports whether the stop condition was met (as opposed to
+	// exhausting the activation budget).
+	Stopped bool
+	// Final is the final load vector.
+	Final loadvec.Vector
+}
+
+func (res Result) String() string {
+	return fmt.Sprintf("Result{t=%.3f acts=%d moves=%d stopped=%v}",
+		res.Time, res.Activations, res.Moves, res.Stopped)
+}
+
+// Run advances the engine until stop returns true or maxActivations is
+// exhausted (pass maxActivations <= 0 for a generous default of
+// 10^9; runs that long indicate a bug or a degenerate parameterization).
+func (e *Engine) Run(stop StopCond, maxActivations int64) Result {
+	if maxActivations <= 0 {
+		maxActivations = 1_000_000_000
+	}
+	stopped := stop(e)
+	for !stopped && e.activations < maxActivations {
+		e.Step()
+		stopped = stop(e)
+	}
+	return Result{
+		Time:        e.time,
+		Activations: e.activations,
+		Moves:       e.moves,
+		ForcedMoves: e.forced,
+		Stopped:     stopped,
+		Final:       e.cfg.Snapshot(),
+	}
+}
+
+// TracePoint is one sample of a run's trajectory.
+type TracePoint struct {
+	Time        float64
+	Activations int64
+	Disc        float64
+	Overloaded  float64
+	MinLoad     int
+	MaxLoad     int
+}
+
+// RunTraced behaves like Run but also samples the trajectory every
+// `every` activations (and at the initial and final states).
+func (e *Engine) RunTraced(stop StopCond, maxActivations, every int64) (Result, []TracePoint) {
+	if every <= 0 {
+		every = 1
+	}
+	if maxActivations <= 0 {
+		maxActivations = 1_000_000_000
+	}
+	var trace []TracePoint
+	record := func() {
+		trace = append(trace, TracePoint{
+			Time:        e.time,
+			Activations: e.activations,
+			Disc:        e.cfg.Disc(),
+			Overloaded:  e.cfg.OverloadedBalls(),
+			MinLoad:     e.cfg.Min(),
+			MaxLoad:     e.cfg.Max(),
+		})
+	}
+	record()
+	stopped := stop(e)
+	for !stopped && e.activations < maxActivations {
+		e.Step()
+		if e.activations%every == 0 {
+			record()
+		}
+		stopped = stop(e)
+	}
+	record()
+	return Result{
+		Time:        e.time,
+		Activations: e.activations,
+		Moves:       e.moves,
+		ForcedMoves: e.forced,
+		Stopped:     stopped,
+		Final:       e.cfg.Snapshot(),
+	}, trace
+}

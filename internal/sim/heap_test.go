@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestEventHeapLoadsMatchVector(t *testing.T) {
+	v := loadvec.Vector{3, 0, 5, 1}
+	h := NewEventHeap()
+	h.Reset(v)
+	for i, want := range v {
+		if got := h.Load(i); got != want {
+			t.Errorf("bin %d load = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEventHeapSampleFrequencies(t *testing.T) {
+	// Over a long horizon each ball is activated at rate 1, so bin
+	// activation frequencies are proportional to load.
+	v := loadvec.Vector{1, 0, 3, 6}
+	h := NewEventHeap()
+	h.Reset(v)
+	r := rng.New(9)
+	const draws = 60000
+	counts := make([]int, len(v))
+	for i := 0; i < draws; i++ {
+		h.NextGap(r)
+		counts[h.Sample(r)]++
+	}
+	for i, load := range v {
+		want := float64(draws) * float64(load) / 10
+		se := math.Sqrt(want + 1)
+		if math.Abs(float64(counts[i])-want) > 6*se {
+			t.Errorf("bin %d sampled %d times, want ~%g", i, counts[i], want)
+		}
+	}
+}
+
+func TestEventHeapTimeIsPoissonLike(t *testing.T) {
+	// With m balls, the number of activations in [0, T] is Poisson(mT):
+	// mean mT, variance mT. Check the mean via total time after k draws.
+	const m = 25
+	v := loadvec.Vector{m}
+	h := NewEventHeap()
+	h.Reset(v)
+	r := rng.New(10)
+	const k = 40000
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += h.NextGap(r)
+		h.Sample(r)
+	}
+	want := float64(k) / m
+	if math.Abs(total-want) > 0.05*want {
+		t.Fatalf("time after %d rings = %g, want ~%g", k, total, want)
+	}
+}
+
+func TestEventHeapMovesActivatedBall(t *testing.T) {
+	// After Sample returns bin b, MoveBall(b, dst) must relocate the
+	// activated ball: its subsequent activations come from dst.
+	v := loadvec.Vector{1, 0}
+	h := NewEventHeap()
+	h.Reset(v)
+	r := rng.New(11)
+	h.NextGap(r)
+	if src := h.Sample(r); src != 0 {
+		t.Fatalf("sampled bin %d, want 0", src)
+	}
+	h.MoveBall(0, 1)
+	if h.Load(0) != 0 || h.Load(1) != 1 {
+		t.Fatal("ball did not move")
+	}
+	h.NextGap(r)
+	if src := h.Sample(r); src != 1 {
+		t.Fatalf("after move, sampled bin %d, want 1", src)
+	}
+}
+
+func TestEventHeapAdversarialMove(t *testing.T) {
+	// Moving from a bin that is not the last-activated ball's home must
+	// still work (ForceMove path).
+	v := loadvec.Vector{2, 2, 0}
+	h := NewEventHeap()
+	h.Reset(v)
+	r := rng.New(12)
+	h.NextGap(r)
+	h.Sample(r)
+	// Move from whichever bin was NOT sampled.
+	h.MoveBall(1, 2)
+	h.MoveBall(0, 2)
+	if h.Load(2) != 2 {
+		t.Fatalf("loads after forced moves: %d/%d/%d", h.Load(0), h.Load(1), h.Load(2))
+	}
+}
+
+func TestEventHeapEngineBalances(t *testing.T) {
+	v := loadvec.AllInOne().Generate(16, 64, nil)
+	e := NewEngine(v, rlsRule{}, NewEventHeap(), rng.New(13))
+	res := e.Run(UntilPerfect(), 1_000_000)
+	if !res.Stopped {
+		t.Fatal("event-heap engine did not balance")
+	}
+	if res.Final.Balls() != 64 {
+		t.Fatal("ball conservation violated")
+	}
+}
+
+// A3 in miniature: the literal per-ball-clock engine and the
+// superposition engine produce the same balancing-time law (two-sample
+// KS test at generous significance).
+func TestEventHeapMatchesSuperpositionLaw(t *testing.T) {
+	const n, m, reps = 24, 96, 120
+	collect := func(mk func() ActivationSampler, seed uint64) []float64 {
+		root := rng.New(seed)
+		out := make([]float64, reps)
+		for i := 0; i < reps; i++ {
+			r := root.Split()
+			v := loadvec.AllInOne().Generate(n, m, nil)
+			e := NewEngine(v, rlsRule{}, mk(), r)
+			out[i] = e.Run(UntilPerfect(), 10_000_000).Time
+		}
+		return out
+	}
+	a := collect(func() ActivationSampler { return NewEventHeap() }, 300)
+	b := collect(func() ActivationSampler { return NewBallList() }, 400)
+	ok, d := stats.SameDistribution(a, b, 0.001)
+	if !ok {
+		t.Fatalf("balancing-time laws differ: KS D = %g (crit %g)",
+			d, stats.KSCritical(reps, reps, 0.001))
+	}
+}
+
+func TestEventHeapForceMoveThroughEngine(t *testing.T) {
+	v := loadvec.Vector{4, 4, 4}
+	e := NewEngine(v, rlsRule{}, NewEventHeap(), rng.New(14))
+	e.ForceMove(1, 0)
+	e.ForceMove(2, 0)
+	if e.Cfg().Load(0) != 6 {
+		t.Fatalf("load 0 = %d", e.Cfg().Load(0))
+	}
+	res := e.Run(UntilPerfect(), 1_000_000)
+	if !res.Stopped {
+		t.Fatal("did not rebalance after forced moves")
+	}
+}

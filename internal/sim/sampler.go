@@ -1,0 +1,162 @@
+// Package sim provides the continuous-time simulation engine on which the
+// paper's process runs.
+//
+// Each of the m balls carries an independent exponential clock of rate 1
+// (§3). The superposition of m such clocks is a Poisson process of rate m
+// whose next ring belongs to a uniformly random ball, so the engine
+// advances time by Exp(m) per activation and asks an ActivationSampler for
+// the bin of the activated ball. Two interchangeable samplers are
+// provided:
+//
+//   - BallList keeps an explicit ball→bin table (O(m) memory, O(1) per
+//     activation). Sampling a uniform ball and reading its bin is exactly
+//     the definition of the process.
+//   - Fenwick keeps only per-bin loads in a Fenwick tree (O(n) memory,
+//     O(log n) per activation) and samples a bin with probability
+//     proportional to its load. Because balls are identical, this induces
+//     the same law on load vectors.
+//
+// The two implementations cross-validate each other (experiment A1).
+package sim
+
+import (
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// ActivationSampler produces the source bin of each ball activation and
+// mirrors ball movements so that subsequent activations see the updated
+// configuration.
+type ActivationSampler interface {
+	// Reset initializes the sampler from a load vector.
+	Reset(v loadvec.Vector)
+	// Sample returns the bin of the next activated ball.
+	Sample(r *rng.RNG) int
+	// MoveBall records that one ball moved from bin src to bin dst.
+	// Balls being identical, the sampler may move any ball residing in src.
+	MoveBall(src, dst int)
+	// Name identifies the sampler in benchmarks and logs.
+	Name() string
+}
+
+// BallList is the direct implementation: an indexed multiset of balls.
+type BallList struct {
+	ballBin []int32   // ball id -> bin
+	bins    [][]int32 // bin -> ball ids (unordered)
+}
+
+// NewBallList returns an empty ball-list sampler; call Reset before use.
+func NewBallList() *BallList { return &BallList{} }
+
+// Reset implements ActivationSampler.
+func (b *BallList) Reset(v loadvec.Vector) {
+	m := v.Balls()
+	b.ballBin = make([]int32, 0, m)
+	b.bins = make([][]int32, len(v))
+	id := int32(0)
+	for bin, load := range v {
+		lst := make([]int32, 0, load)
+		for j := 0; j < load; j++ {
+			b.ballBin = append(b.ballBin, int32(bin))
+			lst = append(lst, id)
+			id++
+		}
+		b.bins[bin] = lst
+	}
+}
+
+// Sample implements ActivationSampler: a uniformly random ball's bin.
+func (b *BallList) Sample(r *rng.RNG) int {
+	return int(b.ballBin[r.Intn(len(b.ballBin))])
+}
+
+// MoveBall implements ActivationSampler, moving an arbitrary ball out of
+// src in O(1) (the last one in src's list).
+func (b *BallList) MoveBall(src, dst int) {
+	lst := b.bins[src]
+	if len(lst) == 0 {
+		panic("sim: MoveBall from empty bin")
+	}
+	ball := lst[len(lst)-1]
+	b.bins[src] = lst[:len(lst)-1]
+	b.bins[dst] = append(b.bins[dst], ball)
+	b.ballBin[ball] = int32(dst)
+}
+
+// Name implements ActivationSampler.
+func (b *BallList) Name() string { return "ball-list" }
+
+// Load returns the number of balls the sampler believes are in bin i
+// (used by tests to check consistency with the Config).
+func (b *BallList) Load(i int) int { return len(b.bins[i]) }
+
+// Fenwick samples bins with probability proportional to load using a
+// Fenwick (binary indexed) tree over the load vector.
+type Fenwick struct {
+	tree []int // 1-based Fenwick tree of bin loads
+	n    int
+	m    int
+	log2 uint // highest power of two <= n, for the O(log n) descend
+}
+
+// NewFenwick returns an empty Fenwick sampler; call Reset before use.
+func NewFenwick() *Fenwick { return &Fenwick{} }
+
+// Reset implements ActivationSampler.
+func (f *Fenwick) Reset(v loadvec.Vector) {
+	f.n = len(v)
+	f.m = v.Balls()
+	f.tree = make([]int, f.n+1)
+	for i, load := range v {
+		f.add(i+1, load)
+	}
+	f.log2 = 0
+	for 1<<(f.log2+1) <= f.n {
+		f.log2++
+	}
+}
+
+func (f *Fenwick) add(pos, delta int) {
+	for ; pos <= f.n; pos += pos & (-pos) {
+		f.tree[pos] += delta
+	}
+}
+
+// prefix returns the sum of loads of bins 1..pos (1-based).
+func (f *Fenwick) prefix(pos int) int {
+	s := 0
+	for ; pos > 0; pos -= pos & (-pos) {
+		s += f.tree[pos]
+	}
+	return s
+}
+
+// Sample implements ActivationSampler: draws k uniform in [0, m) and
+// returns the bin holding the (k+1)-th ball in bin order, via the
+// standard Fenwick binary descend.
+func (f *Fenwick) Sample(r *rng.RNG) int {
+	k := r.Intn(f.m) // find smallest bin index with prefix > k
+	pos := 0
+	remaining := k
+	for step := 1 << f.log2; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= f.n && f.tree[next] <= remaining {
+			pos = next
+			remaining -= f.tree[next]
+		}
+	}
+	return pos // 0-based bin index: pos is the count of full bins skipped
+}
+
+// MoveBall implements ActivationSampler.
+func (f *Fenwick) MoveBall(src, dst int) {
+	f.add(src+1, -1)
+	f.add(dst+1, +1)
+}
+
+// Name implements ActivationSampler.
+func (f *Fenwick) Name() string { return "fenwick" }
+
+// Load returns the load of bin i according to the tree (O(log n); for
+// tests).
+func (f *Fenwick) Load(i int) int { return f.prefix(i+1) - f.prefix(i) }

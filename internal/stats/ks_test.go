@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestKSStatisticIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d != 0 {
+		t.Fatalf("D = %g on identical samples", d)
+	}
+}
+
+func TestKSStatisticDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStatistic(a, b); d != 1 {
+		t.Fatalf("D = %g on disjoint samples, want 1", d)
+	}
+}
+
+func TestKSStatisticHandComputed(t *testing.T) {
+	// a = {1, 3}, b = {2, 4}: after x=1 F_a=.5, F_b=0 → D ≥ .5; that is
+	// also the max.
+	a := []float64{1, 3}
+	b := []float64{2, 4}
+	if d := KSStatistic(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("D = %g, want 0.5", d)
+	}
+}
+
+func TestKSStatisticSymmetric(t *testing.T) {
+	r := rng.New(1)
+	a := make([]float64, 100)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = r.NormFloat64()
+	}
+	for i := range b {
+		b[i] = r.Exp(1)
+	}
+	if math.Abs(KSStatistic(a, b)-KSStatistic(b, a)) > 1e-12 {
+		t.Fatal("KS statistic not symmetric")
+	}
+}
+
+func TestKSPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KSStatistic(nil, []float64{1})
+}
+
+func TestSameDistributionAcceptsSameLaw(t *testing.T) {
+	r := rng.New(2)
+	const n = 1500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Exp(2)
+		b[i] = r.Exp(2)
+	}
+	ok, d := SameDistribution(a, b, 0.001)
+	if !ok {
+		t.Fatalf("same law rejected: D = %g > crit %g", d, KSCritical(n, n, 0.001))
+	}
+}
+
+func TestSameDistributionRejectsDifferentLaw(t *testing.T) {
+	r := rng.New(3)
+	const n = 1500
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Exp(1)
+		b[i] = r.Exp(2) // half the mean
+	}
+	if ok, d := SameDistribution(a, b, 0.01); ok {
+		t.Fatalf("different laws accepted: D = %g", d)
+	}
+}
+
+func TestKSCriticalShrinks(t *testing.T) {
+	if KSCritical(10000, 10000, 0.05) >= KSCritical(100, 100, 0.05) {
+		t.Fatal("critical value should shrink with n")
+	}
+	// Known constant: c(0.05) ≈ 1.358; crit for equal n: c·sqrt(2/n).
+	got := KSCritical(200, 200, 0.05)
+	want := 1.3581 * math.Sqrt(2.0/200)
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("crit = %g, want ~%g", got, want)
+	}
+}

@@ -1,0 +1,95 @@
+package stats
+
+import "math"
+
+// internal aliases so ecdf.go reads cleanly without importing math there.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }
+
+// LinFit holds an ordinary-least-squares line y = Intercept + Slope*x.
+type LinFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// LinearFit fits y = a + b*x by least squares. It panics if the inputs
+// have mismatched lengths or fewer than two points.
+func LinearFit(xs, ys []float64) LinFit {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: LinearFit with degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R² = 1 - SSres/SStot.
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// PowerFit estimates the exponent p in y ~ C * x^p by regressing
+// ln y on ln x. All inputs must be strictly positive.
+//
+// The experiments use this to check growth rates: e.g. Theorem 1 predicts
+// the balancing time from a single-bin start grows like ln n for m >> n²,
+// so a power fit of T against n should give an exponent near 0 while a fit
+// of T against ln n gives slope ~ constant.
+func PowerFit(xs, ys []float64) LinFit {
+	lx := make([]float64, len(xs))
+	lyy := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: PowerFit requires positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		lyy[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, lyy)
+}
+
+// RatioSpread returns the max/min ratio of ys[i]/xs[i]; a bounded spread
+// across a sweep is the empirical signature of y = Θ(x).
+func RatioSpread(xs, ys []float64) (minRatio, maxRatio float64) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: RatioSpread needs equal-length non-empty inputs")
+	}
+	minRatio = math.Inf(1)
+	maxRatio = math.Inf(-1)
+	for i := range xs {
+		if xs[i] == 0 {
+			panic("stats: RatioSpread with zero denominator")
+		}
+		r := ys[i] / xs[i]
+		if r < minRatio {
+			minRatio = r
+		}
+		if r > maxRatio {
+			maxRatio = r
+		}
+	}
+	return
+}

@@ -1,0 +1,67 @@
+package rls
+
+import (
+	"repro/internal/opensys"
+	"repro/internal/rng"
+)
+
+// OpenSystem exposes the open-system variant of RLS studied by [11]
+// (Ganesh et al., the work whose closed-system bound the paper
+// tightens): jobs arrive as a Poisson process of rate Lambda·n, each
+// server completes one job at rate Mu while busy, and every waiting job
+// carries an RLS migration clock of rate Beta. Stability requires
+// Lambda < Mu.
+type OpenSystem struct {
+	sys *opensys.System
+}
+
+// OpenSystemStats are time-averaged steady-state observables.
+type OpenSystemStats struct {
+	// MeanJobsPerServer is the time-averaged jobs per server (the
+	// independent-M/M/1 prediction is ρ/(1−ρ)).
+	MeanJobsPerServer float64
+	// MeanMaxQueue is the time-averaged maximum queue length.
+	MeanMaxQueue float64
+	// MeanDisc is the time-averaged discrepancy.
+	MeanDisc float64
+	// FracPerfect is the fraction of time the queue vector was perfectly
+	// balanced.
+	FracPerfect float64
+}
+
+// NewOpenSystem creates an empty open system with n servers, per-server
+// arrival rate lambda, service rate mu, and per-job migration rate beta.
+func NewOpenSystem(n int, lambda, mu, beta float64, seed uint64) (*OpenSystem, error) {
+	sys, err := opensys.New(opensys.Params{N: n, Lambda: lambda, Mu: mu, Beta: beta}, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &OpenSystem{sys: sys}, nil
+}
+
+// Observe warms the system up for `warmup` time units and then returns
+// statistics time-averaged over the next `window` units.
+func (o *OpenSystem) Observe(warmup, window float64) OpenSystemStats {
+	st := o.sys.Run(warmup, window)
+	n := float64(len(o.sys.Loads()))
+	return OpenSystemStats{
+		MeanJobsPerServer: st.MeanJobs / n,
+		MeanMaxQueue:      st.MeanMax,
+		MeanDisc:          st.MeanDisc,
+		FracPerfect:       st.FracPerfect,
+	}
+}
+
+// Queues returns the current queue-length vector.
+func (o *OpenSystem) Queues() []int { return o.sys.Loads() }
+
+// Jobs returns the number of jobs currently in the system.
+func (o *OpenSystem) Jobs() int { return o.sys.Jobs() }
+
+// MM1MeanJobs returns ρ/(1−ρ), the stationary per-server job count of
+// an M/M/1 queue at utilization ρ — the no-migration baseline.
+func MM1MeanJobs(rho float64) float64 { return opensys.MM1MeanJobs(rho) }
+
+// MM1MaxQueueScale returns log_{1/ρ}(n), the extreme-value scale of the
+// maximum across n independent M/M/1 queues.
+func MM1MaxQueueScale(n int, rho float64) float64 { return opensys.MM1MaxQueueScale(n, rho) }

@@ -1,0 +1,66 @@
+package rls
+
+import "testing"
+
+func TestOpenSystemFacade(t *testing.T) {
+	sys, err := NewOpenSystem(16, 0.6, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Observe(200, 2000)
+	if st.MeanJobsPerServer <= 0 {
+		t.Error("no jobs under load")
+	}
+	if st.MeanMaxQueue < st.MeanJobsPerServer {
+		t.Error("max queue below per-server mean")
+	}
+	if st.FracPerfect < 0 || st.FracPerfect > 1 {
+		t.Errorf("FracPerfect = %g", st.FracPerfect)
+	}
+	qs := sys.Queues()
+	if len(qs) != 16 {
+		t.Fatalf("queue vector has %d entries", len(qs))
+	}
+	sum := 0
+	for _, q := range qs {
+		if q < 0 {
+			t.Fatal("negative queue")
+		}
+		sum += q
+	}
+	if sum != sys.Jobs() {
+		t.Fatalf("queues sum %d != jobs %d", sum, sys.Jobs())
+	}
+}
+
+func TestOpenSystemRejectsUnstable(t *testing.T) {
+	if _, err := NewOpenSystem(16, 1.5, 1, 1, 5); err == nil {
+		t.Fatal("unstable system accepted")
+	}
+}
+
+func TestOpenSystemMigrationHelps(t *testing.T) {
+	plain, err := NewOpenSystem(32, 0.8, 1, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migr, err := NewOpenSystem(32, 0.8, 1, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stPlain := plain.Observe(1000, 8000)
+	stMigr := migr.Observe(1000, 8000)
+	if stMigr.MeanMaxQueue >= stPlain.MeanMaxQueue {
+		t.Fatalf("migration did not reduce max queue: %g vs %g",
+			stMigr.MeanMaxQueue, stPlain.MeanMaxQueue)
+	}
+}
+
+func TestMM1Helpers(t *testing.T) {
+	if MM1MeanJobs(0.5) != 1 {
+		t.Error("MM1MeanJobs wrong")
+	}
+	if MM1MaxQueueScale(64, 0.5) != 6 {
+		t.Error("MM1MaxQueueScale wrong")
+	}
+}

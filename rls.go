@@ -1,0 +1,338 @@
+package rls
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/hetero"
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Placement chooses the initial configuration of balls in bins.
+type Placement struct {
+	gen loadvec.Generator
+}
+
+// AllInOne places every ball in bin 0 — the paper's worst case.
+func AllInOne() Placement { return Placement{loadvec.AllInOne()} }
+
+// Random throws each ball into a uniformly random bin (one-choice).
+func Random() Placement { return Placement{loadvec.OneChoice()} }
+
+// TwoChoice places each ball greedily in the lesser loaded of two uniform
+// samples (Greedy[2]).
+func TwoChoice() Placement { return Placement{loadvec.TwoChoice()} }
+
+// Spread places balls as evenly as possible (a perfectly balanced start).
+func Spread() Placement { return Placement{loadvec.Balanced()} }
+
+// DeltaPair starts balanced except one bin at ∅+delta and one at
+// ∅−delta; DeltaPair(1) is the paper's Ω(n²/m) lower-bound instance.
+func DeltaPair(delta int) Placement { return Placement{loadvec.DeltaPair(delta)} }
+
+// FromLoads uses the given explicit load vector (copied).
+func FromLoads(loads []int) Placement {
+	return Placement{loadvec.FromVector(loadvec.Vector(loads).Clone())}
+}
+
+// Target is a stop condition for a run.
+type Target struct {
+	stop func(e *sim.Engine) bool
+	desc string
+}
+
+// UntilPerfect stops at perfect balance (disc < 1) — the paper's T.
+func UntilPerfect() Target {
+	return Target{stop: sim.UntilPerfect(), desc: "perfect"}
+}
+
+// UntilBalanced stops at disc ≤ x.
+func UntilBalanced(x float64) Target {
+	return Target{stop: sim.UntilBalanced(x), desc: fmt.Sprintf("disc<=%g", x)}
+}
+
+// UntilTime stops at continuous time t.
+func UntilTime(t float64) Target {
+	return Target{stop: sim.UntilTime(t), desc: fmt.Sprintf("t=%g", t)}
+}
+
+// Topology restricts destination sampling to a graph neighborhood
+// (§7 extension). The zero value means the complete topology of §3.
+type Topology struct {
+	g graphs.Graph
+}
+
+// CompleteTopology is the paper's original setting (sample any bin).
+func CompleteTopology() Topology { return Topology{} }
+
+// RingTopology samples among the two ring neighbors.
+func RingTopology() Topology { return Topology{graphs.Ring{}} }
+
+// TorusTopology samples among the four torus neighbors; the runner's bin
+// count must be side².
+func TorusTopology(side int) Topology { return Topology{graphs.Torus2D{Side: side}} }
+
+// HypercubeTopology samples among the hypercube neighbors; the runner's
+// bin count must be 2^dim.
+func HypercubeTopology(dim int) Topology { return Topology{graphs.Hypercube{Dim: dim}} }
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithSeed fixes the random seed (default 1).
+func WithSeed(seed uint64) Option { return func(r *Runner) { r.seed = seed } }
+
+// WithPlacement sets the initial configuration (default AllInOne).
+func WithPlacement(p Placement) Option { return func(r *Runner) { r.placement = p } }
+
+// WithTarget sets the stop condition (default UntilPerfect).
+func WithTarget(t Target) Option { return func(r *Runner) { r.target = t } }
+
+// WithStrictTieRule switches to the [12]/[11] variant that forbids
+// neutral moves (move only if the destination is smaller by ≥ 2). The
+// paper's §3 remark: same balancing-time law.
+func WithStrictTieRule() Option { return func(r *Runner) { r.strict = true } }
+
+// WithTopology restricts destination sampling to a graph (§7).
+func WithTopology(t Topology) Option { return func(r *Runner) { r.topology = t } }
+
+// WithSpeeds gives bin i speed speeds[i] and switches to the §7
+// speed-aware rule (move iff the experienced load ℓ/s strictly improves).
+// The run then stops at a Nash state when the target is UntilPerfect.
+func WithSpeeds(speeds []float64) Option {
+	return func(r *Runner) { r.speeds = append([]float64(nil), speeds...) }
+}
+
+// WithFenwickEngine selects the O(n)-memory load-proportional sampler
+// instead of the explicit ball table (identical law; better for m ≫ n).
+func WithFenwickEngine() Option { return func(r *Runner) { r.fenwick = true } }
+
+// WithActivationBudget caps the number of activations (default 10^9).
+func WithActivationBudget(k int64) Option { return func(r *Runner) { r.budget = k } }
+
+// Runner executes RLS runs for one (n, m, options) setting.
+type Runner struct {
+	n, m      int
+	seed      uint64
+	placement Placement
+	target    Target
+	strict    bool
+	topology  Topology
+	speeds    []float64
+	fenwick   bool
+	budget    int64
+}
+
+// New creates a Runner for n bins and m balls. It panics unless n ≥ 1 and
+// m ≥ 1.
+func New(n, m int, opts ...Option) *Runner {
+	if n < 1 || m < 1 {
+		panic("rls: need at least one bin and one ball")
+	}
+	r := &Runner{
+		n:         n,
+		m:         m,
+		seed:      1,
+		placement: AllInOne(),
+		target:    UntilPerfect(),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Time is the continuous time at which the target was reached.
+	Time float64
+	// Activations counts ball activations (clock rings); Moves counts
+	// successful relocations.
+	Activations, Moves int64
+	// Reached reports whether the target was met within the budget.
+	Reached bool
+	// Final is the final load vector.
+	Final []int
+	// Disc is the final discrepancy max_i |ℓ_i − m/n|.
+	Disc float64
+	// Phases records when the run crossed the paper's phase boundaries
+	// (§6); negative entries were never crossed.
+	Phases PhaseTimes
+}
+
+// PhaseTimes mirrors the §6 analysis boundaries; see core.PhaseTimes.
+type PhaseTimes struct {
+	// LogBalanced is the first time disc ≤ 96 ln n (Phase 1 target).
+	LogBalanced float64
+	// OneBalanced is the first time disc ≤ 1 (Phase 2 target).
+	OneBalanced float64
+	// Perfect is the first time disc < 1 (Phase 3 target / Theorem 1 T).
+	Perfect float64
+}
+
+// TracePoint is one sampled point of a trajectory.
+type TracePoint struct {
+	Time        float64
+	Activations int64
+	Disc        float64
+	MinLoad     int
+	MaxLoad     int
+}
+
+// mover picks the decision rule implied by the options.
+func (r *Runner) mover() (sim.Mover, error) {
+	if r.speeds != nil {
+		if len(r.speeds) != r.n {
+			return nil, fmt.Errorf("rls: %d speeds for %d bins", len(r.speeds), r.n)
+		}
+		if r.topology.g != nil {
+			return nil, fmt.Errorf("rls: speeds and topology cannot be combined yet")
+		}
+		return hetero.NewSpeedRLS(r.speeds)
+	}
+	if r.topology.g != nil {
+		g := r.topology.g
+		switch t := g.(type) {
+		case graphs.Ring:
+			g = graphs.Ring{Vertices: r.n} // the ring adapts to the runner's n
+		case graphs.Torus2D:
+			if t.Side*t.Side != r.n {
+				return nil, fmt.Errorf("rls: torus side %d does not match n=%d", t.Side, r.n)
+			}
+		case graphs.Hypercube:
+			if 1<<t.Dim != r.n {
+				return nil, fmt.Errorf("rls: hypercube dim %d does not match n=%d", t.Dim, r.n)
+			}
+		}
+		if r.strict {
+			return nil, fmt.Errorf("rls: strict tie rule on a topology is not supported")
+		}
+		return graphs.GraphRLS{G: g}, nil
+	}
+	if r.strict {
+		return core.StrictRLS{}, nil
+	}
+	return core.RLS{}, nil
+}
+
+// engine builds the configured engine and tracker.
+func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
+	mover, err := r.mover()
+	if err != nil {
+		return nil, nil, err
+	}
+	stream := rng.New(r.seed)
+	v := r.placement.gen.Generate(r.n, r.m, stream)
+	var sampler sim.ActivationSampler
+	if r.fenwick {
+		sampler = sim.NewFenwick()
+	}
+	e := sim.NewEngine(v, mover, sampler, stream)
+	tr := core.NewPhaseTracker(e)
+	return e, tr, nil
+}
+
+// stop returns the effective stop condition, adapting UntilPerfect to the
+// Nash condition when speeds are configured.
+func (r *Runner) stop() func(e *sim.Engine) bool {
+	if r.speeds != nil && r.target.desc == "perfect" {
+		speeds := r.speeds
+		return func(e *sim.Engine) bool {
+			return hetero.IsSpeedNash(e.Cfg().Loads(), speeds)
+		}
+	}
+	return r.target.stop
+}
+
+// Run executes one run and returns its Result. Configuration errors
+// (mismatched topology or speeds) are returned, not panicked.
+func (r *Runner) Run() (Result, error) {
+	e, tr, err := r.engine()
+	if err != nil {
+		return Result{}, err
+	}
+	res := e.Run(r.stop(), r.budget)
+	return r.result(res, tr), nil
+}
+
+// RunTraced is Run plus a trajectory sampled every `every` activations.
+func (r *Runner) RunTraced(every int64) (Result, []TracePoint, error) {
+	e, tr, err := r.engine()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res, rawTrace := e.RunTraced(r.stop(), r.budget, every)
+	trace := make([]TracePoint, len(rawTrace))
+	for i, p := range rawTrace {
+		trace[i] = TracePoint{
+			Time:        p.Time,
+			Activations: p.Activations,
+			Disc:        p.Disc,
+			MinLoad:     p.MinLoad,
+			MaxLoad:     p.MaxLoad,
+		}
+	}
+	return r.result(res, tr), trace, nil
+}
+
+func (r *Runner) result(res sim.Result, tr *core.PhaseTracker) Result {
+	return Result{
+		Time:        res.Time,
+		Activations: res.Activations,
+		Moves:       res.Moves,
+		Reached:     res.Stopped,
+		Final:       res.Final,
+		Disc:        res.Final.Disc(),
+		Phases: PhaseTimes{
+			LogBalanced: tr.Times.LogBalanced,
+			OneBalanced: tr.Times.OneBalanced,
+			Perfect:     tr.Times.Perfect,
+		},
+	}
+}
+
+// Disc returns the discrepancy max_i |ℓ_i − m/n| of a load vector.
+func Disc(loads []int) float64 { return loadvec.Vector(loads).Disc() }
+
+// IsPerfect reports perfect balance (disc < 1).
+func IsPerfect(loads []int) bool { return loadvec.Vector(loads).IsPerfect() }
+
+// ExpectedBalanceTime returns the Theorem 1 quantity ln(n) + n²/m, which
+// is Θ(E[T]) for RLS from any initial configuration.
+func ExpectedBalanceTime(n, m int) float64 { return core.Theorem1Expectation(n, m) }
+
+// WHPBalanceTime returns ln(n)·(1 + n²/m), the Theorem 1 w.h.p. bound
+// shape.
+func WHPBalanceTime(n, m int) float64 { return core.Theorem1WHP(n, m) }
+
+// HarmonicLowerBound returns H_m − H_⌊m/n⌋, the §4 lower bound on E[T]
+// from the single-bin start.
+func HarmonicLowerBound(n, m int) float64 { return core.LowerBoundAllInOne(n, m) }
+
+// PairLowerBound returns n/(∅+1), the exact expected balancing time of
+// the ±1 lower-bound instance.
+func PairLowerBound(n, m int) float64 { return core.LowerBoundDeltaPair(n, m) }
+
+// MaxLatency returns the maximum load (the KP-model social cost of the
+// configuration under unit weights).
+func MaxLatency(loads []int) int {
+	_, max := loadvec.Vector(loads).MinMax()
+	return max
+}
+
+// NashGap returns how far a configuration is from a pure Nash equilibrium
+// of the unit-weight KP-game: the number of bin pairs' worth of
+// improving moves, measured as max(0, max ℓ − min ℓ − 1) (0 iff no ball
+// can strictly improve, i.e. the configuration is perfectly balanced or
+// off by neutral moves only).
+func NashGap(loads []int) int {
+	min, max := loadvec.Vector(loads).MinMax()
+	gap := max - min - 1
+	if gap < 0 {
+		return 0
+	}
+	return gap
+}

@@ -1,0 +1,184 @@
+package rls
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Session is a long-lived balancing system supporting dynamic churn:
+// balls may join and leave between stretches of RLS execution. It models
+// the self-stabilization settings from the paper's motivation (P2P
+// networks, channel allocation) where the population changes over time
+// and the protocol keeps re-balancing; RLS needs no restart or global
+// coordination after churn — exactly its selling point in §1.
+//
+// Churn events invalidate the running engine (the number of balls
+// changes the activation rate), so the engine is rebuilt lazily on the
+// next Run* call; accumulated time and activation counts persist.
+type Session struct {
+	loads  loadvec.Vector
+	stream *rng.RNG
+
+	engine *sim.Engine // nil when invalidated by churn
+
+	time        float64
+	activations int64
+	moves       int64
+}
+
+// NewSession creates a session with n empty bins.
+func NewSession(n int, seed uint64) *Session {
+	if n < 1 {
+		panic("rls: NewSession needs at least one bin")
+	}
+	return &Session{
+		loads:  make(loadvec.Vector, n),
+		stream: rng.New(seed),
+	}
+}
+
+// N returns the number of bins.
+func (s *Session) N() int { return len(s.loads) }
+
+// M returns the current number of balls.
+func (s *Session) M() int { return s.currentLoads().Balls() }
+
+// Loads returns a copy of the current load vector.
+func (s *Session) Loads() []int { return s.currentLoads().Clone() }
+
+// Disc returns the current discrepancy.
+func (s *Session) Disc() float64 {
+	if s.M() == 0 {
+		return 0
+	}
+	return s.currentLoads().Disc()
+}
+
+// Time returns the total elapsed continuous time across the session.
+func (s *Session) Time() float64 { return s.time }
+
+// Activations returns the total ball activations across the session.
+func (s *Session) Activations() int64 { return s.activations }
+
+// Moves returns the total protocol moves across the session.
+func (s *Session) Moves() int64 { return s.moves }
+
+// currentLoads returns the authoritative load vector (from the live
+// engine if one exists).
+func (s *Session) currentLoads() loadvec.Vector {
+	if s.engine != nil {
+		return s.engine.Cfg().Loads()
+	}
+	return s.loads
+}
+
+// AddBall inserts one ball into the given bin (a user joining).
+func (s *Session) AddBall(bin int) error {
+	if bin < 0 || bin >= len(s.loads) {
+		return fmt.Errorf("rls: bin %d out of range", bin)
+	}
+	s.invalidate()
+	s.loads[bin]++
+	return nil
+}
+
+// AddBallRandom inserts one ball into a uniformly random bin and returns
+// the bin.
+func (s *Session) AddBallRandom() int {
+	s.invalidate()
+	bin := s.stream.Intn(len(s.loads))
+	s.loads[bin]++
+	return bin
+}
+
+// RemoveBall removes one ball from the given bin (a user leaving).
+func (s *Session) RemoveBall(bin int) error {
+	if bin < 0 || bin >= len(s.loads) {
+		return fmt.Errorf("rls: bin %d out of range", bin)
+	}
+	s.invalidate()
+	if s.loads[bin] == 0 {
+		return fmt.Errorf("rls: bin %d is empty", bin)
+	}
+	s.loads[bin]--
+	return nil
+}
+
+// RemoveRandomBall removes a uniformly random ball and returns the bin it
+// left.
+func (s *Session) RemoveRandomBall() (int, error) {
+	s.invalidate()
+	m := s.loads.Balls()
+	if m == 0 {
+		return 0, fmt.Errorf("rls: no balls to remove")
+	}
+	k := s.stream.Intn(m)
+	for bin, l := range s.loads {
+		if k < l {
+			s.loads[bin]--
+			return bin, nil
+		}
+		k -= l
+	}
+	panic("rls: unreachable")
+}
+
+// invalidate folds the live engine's state back into the session.
+func (s *Session) invalidate() {
+	if s.engine == nil {
+		return
+	}
+	s.loads = s.engine.Cfg().Snapshot()
+	s.engine = nil
+}
+
+// ensureEngine (re)builds the engine after churn.
+func (s *Session) ensureEngine() error {
+	if s.engine != nil {
+		return nil
+	}
+	if s.loads.Balls() == 0 {
+		return fmt.Errorf("rls: session has no balls")
+	}
+	s.engine = sim.NewEngine(s.loads, core.RLS{}, sim.NewBallList(), s.stream)
+	return nil
+}
+
+// RunFor advances the protocol by duration d of continuous time.
+func (s *Session) RunFor(d float64) error {
+	if err := s.ensureEngine(); err != nil {
+		return err
+	}
+	before := s.engine.Time()
+	beforeActs := s.engine.Activations()
+	beforeMoves := s.engine.Moves()
+	s.engine.Run(sim.UntilTime(before+d), 0)
+	s.time += s.engine.Time() - before
+	s.activations += s.engine.Activations() - beforeActs
+	s.moves += s.engine.Moves() - beforeMoves
+	return nil
+}
+
+// RunUntilPerfect advances until perfect balance (or the activation
+// budget is exhausted) and reports whether balance was reached.
+func (s *Session) RunUntilPerfect(budget int64) (bool, error) {
+	if err := s.ensureEngine(); err != nil {
+		return false, err
+	}
+	before := s.engine.Time()
+	beforeActs := s.engine.Activations()
+	beforeMoves := s.engine.Moves()
+	absBudget := int64(0) // engine default
+	if budget > 0 {
+		absBudget = beforeActs + budget
+	}
+	res := s.engine.Run(sim.UntilPerfect(), absBudget)
+	s.time += s.engine.Time() - before
+	s.activations += s.engine.Activations() - beforeActs
+	s.moves += s.engine.Moves() - beforeMoves
+	return res.Stopped, nil
+}
