@@ -13,7 +13,11 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // benchExperiment runs one registered experiment per b iteration and
@@ -110,6 +114,63 @@ func BenchmarkSessionChurnCycle(b *testing.B) {
 		if ok, err := s.RunUntilPerfect(10_000_000); err != nil || !ok {
 			b.Fatal("rebalance failed")
 		}
+	}
+}
+
+// BenchmarkSessionChurn measures interleaved churn+balance on a live
+// session at m ≫ n: each iteration is one join, one leave, and a short
+// stretch of protocol time, all absorbed by the persistent engine with no
+// rebuild. Compare with BenchmarkSessionChurnRebuild, the seed's O(m)
+// rebuild-per-event strategy.
+func BenchmarkSessionChurn(b *testing.B) {
+	const n, m = 1024, 100_000
+	s := NewSession(n, 7)
+	for i := 0; i < m; i++ {
+		s.AddBallRandom()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.AddBall(i % n); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RemoveRandomBall(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunFor(0.0001); err != nil { // ≈ m·d = 10 activations
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionChurnRebuild replays the pre-churn-native strategy on
+// the same workload: every churn event snapshots the load vector and
+// rebuilds the engine (Config + sampler) from scratch before running.
+func BenchmarkSessionChurnRebuild(b *testing.B) {
+	const n, m = 1024, 100_000
+	r := rng.New(7)
+	v := make(loadvec.Vector, n)
+	for i := 0; i < m; i++ {
+		v[r.Intn(n)]++
+	}
+	e := sim.NewEngine(v, core.RLS{}, sim.NewBallList(), r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Join: invalidate, mutate the snapshot, rebuild.
+		loads := e.Cfg().Snapshot()
+		loads[i%n]++
+		e = sim.NewEngine(loads, core.RLS{}, sim.NewBallList(), r)
+		// Leave: same dance for the second churn event.
+		loads = e.Cfg().Snapshot()
+		k := r.Intn(loads.Balls())
+		for bin, l := range loads {
+			if k < l {
+				loads[bin]--
+				break
+			}
+			k -= l
+		}
+		e = sim.NewEngine(loads, core.RLS{}, sim.NewBallList(), r)
+		e.Run(sim.UntilTime(e.Time()+0.0001), 0)
 	}
 }
 

@@ -11,10 +11,13 @@
 //
 // This package is the public API: construct a Runner with New, configure
 // it with options (initial placement, tie rule, topology, bin speeds,
-// stop target, engine choice), and Run it. Session supports dynamic
-// ball churn for self-stabilization scenarios. Quantities from the
-// paper's analysis (harmonic bounds, Theorem 1 predictors) are exposed as
-// plain functions.
+// stop target, engine choice), and Run it. Session is the long-running
+// service core: it supports dynamic ball churn (joins and leaves) for
+// self-stabilization scenarios, absorbing each event incrementally into
+// one persistent engine — O(1) per join/leave, with the activation rate
+// tracking the live population — instead of rebuilding O(m) state.
+// Quantities from the paper's analysis (harmonic bounds, Theorem 1
+// predictors) are exposed as plain functions.
 //
 // The experiment suite reproducing every figure and claim of the paper
 // lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and

@@ -2,9 +2,12 @@
 // continuous churn — the self-stabilization setting that motivates simple
 // distributed protocols in the paper's introduction (cf. [20]).
 //
-// The Session API lets items join and leave between stretches of RLS
-// execution; after every churn burst, RLS restores perfect balance with
-// no restart, reset, or global coordination.
+// The Session API is churn-native: one engine persists for the whole
+// session, and every join/leave is absorbed incrementally in O(1) — no
+// rebuild, restart, or global coordination. That makes fine-grained
+// interleaving cheap: here churn events land *during* live execution
+// (join, leave, run a sliver of protocol time, repeat), not just between
+// balancing epochs.
 package main
 
 import (
@@ -27,31 +30,40 @@ func main() {
 	fmt.Printf("bootstrap: %d items on peer 0 of %d peers; disc = %.1f\n", s.M(), peers, s.Disc())
 	mustBalance(s)
 
-	// Ten churn epochs: a burst of joins/leaves, then RLS re-balances.
+	// Ten churn epochs. Each epoch interleaves joins, leaves, and short
+	// stretches of live RLS execution — the protocol keeps absorbing
+	// events while it runs, then finishes re-balancing.
 	for epoch := 1; epoch <= 10; epoch++ {
 		// 40 random items leave (peers crash / objects deleted) and 55
-		// new items arrive at a hotspot peer.
-		for i := 0; i < 40; i++ {
-			if _, err := s.RemoveRandomBall(); err != nil {
-				panic(err)
-			}
-		}
+		// new items arrive at a hotspot peer, a few at a time between
+		// slivers of protocol execution.
 		hotspot := epoch % peers
-		for i := 0; i < 55; i++ {
-			if err := s.AddBall(hotspot); err != nil {
+		for burst := 0; burst < 5; burst++ {
+			for i := 0; i < 8; i++ {
+				if _, err := s.RemoveRandomBall(); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < 11; i++ {
+				if err := s.AddBall(hotspot); err != nil {
+					panic(err)
+				}
+			}
+			if err := s.RunFor(0.05); err != nil { // live absorption
 				panic(err)
 			}
 		}
 		preDisc := s.Disc()
 		preTime := s.Time()
 		mustBalance(s)
-		fmt.Printf("epoch %2d: %4d items, churn disc %.1f → rebalanced in %.3f time units\n",
+		fmt.Printf("epoch %2d: %4d items, post-churn disc %.1f → rebalanced in %.3f time units\n",
 			epoch, s.M(), preDisc, s.Time()-preTime)
 	}
 
 	fmt.Printf("\nsession totals: time %.2f, activations %d, moves %d, final disc %.2f\n",
 		s.Time(), s.Activations(), s.Moves(), s.Disc())
-	fmt.Println("RLS is self-stabilizing here: every epoch ends perfectly balanced.")
+	fmt.Println("RLS is self-stabilizing here: every epoch ends perfectly balanced,")
+	fmt.Println("with every join/leave absorbed in O(1) by the live engine.")
 }
 
 func mustBalance(s *rls.Session) {

@@ -193,6 +193,78 @@ func (c *Config) Move(src, dst int) {
 	}
 }
 
+// AddBall inserts one ball into bin (a dynamic arrival), updating every
+// tracked statistic in O(1). Changing m shifts the average by 1/n, so
+// besides the touched bin only the bins sitting exactly on the old or new
+// average can change classification; their counts are read off the load
+// histogram instead of rescanning the vector.
+func (c *Config) AddBall(bin int) {
+	v := c.loads[bin]
+	// Take the touched bin out of the histogram and classification so the
+	// average-crossing adjustment below covers exactly the other n−1 bins.
+	c.count[v]--
+	c.declassify(v)
+	// m → m+1: a level w flips above→at iff w·n == m+1 and at→below iff
+	// w·n == m, i.e. only when n divides m+1 resp. m.
+	if (c.m+1)%c.n == 0 {
+		w := (c.m + 1) / c.n
+		if cnt := c.CountAt(w); cnt > 0 {
+			c.h -= cnt
+			c.sumOver -= w * cnt
+		}
+	}
+	if c.m%c.n == 0 {
+		c.k += c.CountAt(c.m / c.n)
+	}
+	c.m++
+	if v+2 >= len(c.count) {
+		c.growCount(v + 2)
+	}
+	c.count[v+1]++
+	c.loads[bin] = v + 1
+	c.classify(v + 1)
+	if v+1 > c.max {
+		c.max = v + 1
+	}
+	if v == c.min && c.count[v] == 0 {
+		c.min = v + 1
+	}
+}
+
+// RemoveBall removes one ball from bin (a dynamic departure), updating
+// every tracked statistic in O(1) by the same histogram-crossing argument
+// as AddBall. It panics if the bin is empty.
+func (c *Config) RemoveBall(bin int) {
+	v := c.loads[bin]
+	if v == 0 {
+		panic("loadvec: RemoveBall from empty bin")
+	}
+	c.count[v]--
+	c.declassify(v)
+	// m → m−1: a level w flips at→above iff w·n == m and below→at iff
+	// w·n == m−1.
+	if c.m%c.n == 0 {
+		w := c.m / c.n
+		if cnt := c.CountAt(w); cnt > 0 {
+			c.h += cnt
+			c.sumOver += w * cnt
+		}
+	}
+	if (c.m-1)%c.n == 0 {
+		c.k -= c.CountAt((c.m - 1) / c.n)
+	}
+	c.m--
+	c.count[v-1]++
+	c.loads[bin] = v - 1
+	c.classify(v - 1)
+	if v-1 < c.min {
+		c.min = v - 1
+	}
+	if v == c.max && c.count[v] == 0 {
+		c.max = v - 1
+	}
+}
+
 // declassify removes one bin at load v from the h/k/sumOver accounting.
 func (c *Config) declassify(v int) {
 	switch {

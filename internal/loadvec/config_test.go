@@ -232,3 +232,121 @@ func BenchmarkConfigMove(b *testing.B) {
 		c.Move(src, dst)
 	}
 }
+
+func TestConfigAddRemoveBallBasics(t *testing.T) {
+	c := NewConfig(Vector{2, 2, 2}) // avg 2
+	c.AddBall(0)                    // {3,2,2}, avg 7/3
+	if c.M() != 7 || c.Max() != 3 || c.Min() != 2 {
+		t.Fatalf("after add: %v", c)
+	}
+	h, r, k := c.AboveBelow()
+	if h != 1 || r != 0 || k != 2 {
+		t.Errorf("h/r/k after add = %d/%d/%d, want 1/0/2", h, r, k)
+	}
+	c.RemoveBall(0) // back to {2,2,2}
+	if c.M() != 6 || c.Max() != 2 || c.Min() != 2 {
+		t.Fatalf("after remove: %v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigRemoveBallEmptyPanics(t *testing.T) {
+	c := NewConfig(Vector{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemoveBall from empty bin did not panic")
+		}
+	}()
+	c.RemoveBall(0)
+}
+
+func TestConfigRemoveToZeroBalls(t *testing.T) {
+	c := NewConfig(Vector{1, 0, 0})
+	c.RemoveBall(0)
+	if c.M() != 0 || c.Min() != 0 || c.Max() != 0 {
+		t.Fatalf("emptied config: %v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.AddBall(2)
+	if c.M() != 1 || c.Max() != 1 {
+		t.Fatalf("refilled config: %v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Interleaved churn and moves must keep every cached statistic identical
+// to a freshly built Config — the invariant the churn-native engine
+// depends on.
+func TestConfigChurnProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(12)
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = r.Intn(6)
+		}
+		c := NewConfig(v)
+		for op := 0; op < 200; op++ {
+			switch r.Intn(3) {
+			case 0:
+				c.AddBall(r.Intn(n))
+			case 1:
+				if bin := randNonEmpty(c, r); bin >= 0 {
+					c.RemoveBall(bin)
+				}
+			case 2:
+				src := randNonEmpty(c, r)
+				dst := r.Intn(n)
+				if src >= 0 && dst != src {
+					c.Move(src, dst)
+				}
+			}
+			if err := c.Validate(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randNonEmpty returns a uniformly random non-empty bin, or -1 if none.
+func randNonEmpty(c *Config, r *rng.RNG) int {
+	if c.M() == 0 {
+		return -1
+	}
+	for {
+		if bin := r.Intn(c.N()); c.Load(bin) > 0 {
+			return bin
+		}
+	}
+}
+
+func BenchmarkConfigChurn(b *testing.B) {
+	n := 1024
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = 16
+	}
+	c := NewConfig(v)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bin := r.Intn(n)
+		c.AddBall(bin)
+		dst := r.Intn(n)
+		if c.Load(dst) == 0 {
+			dst = bin // long runs can drift a bin to zero
+		}
+		c.RemoveBall(dst)
+	}
+}

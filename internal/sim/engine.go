@@ -110,6 +110,25 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// AddBall inserts one ball into bin (a dynamic arrival), keeping the
+// configuration and the sampler in lockstep. The activation rate adjusts
+// automatically: Step reads the live m for its Exp(m) gap, and GapSampler
+// implementations schedule the newcomer's own clock. Cost is O(1) for
+// BallList, O(log n) for Fenwick, O(log m) for EventHeap — never an O(m)
+// rebuild.
+func (e *Engine) AddBall(bin int) {
+	e.cfg.AddBall(bin)
+	e.sampler.AddBall(bin)
+}
+
+// RemoveBall removes one ball from bin (a dynamic departure), keeping the
+// configuration and the sampler in lockstep. Balls being identical, any
+// resident of bin may be the one to leave. It panics if the bin is empty.
+func (e *Engine) RemoveBall(bin int) {
+	e.cfg.RemoveBall(bin)
+	e.sampler.RemoveBall(bin)
+}
+
 // ForceMove applies a move outside the protocol (adversarial/destructive),
 // keeping the sampler in sync. It does not advance time: the DML adversary
 // acts instantaneously after protocol moves.
@@ -139,12 +158,16 @@ func (res Result) String() string {
 		res.Time, res.Activations, res.Moves, res.Stopped)
 }
 
+// DefaultActivationBudget is the generous per-run activation cap applied
+// when a caller passes a non-positive budget; runs that long indicate a
+// bug or a degenerate parameterization.
+const DefaultActivationBudget = 1_000_000_000
+
 // Run advances the engine until stop returns true or maxActivations is
-// exhausted (pass maxActivations <= 0 for a generous default of
-// 10^9; runs that long indicate a bug or a degenerate parameterization).
+// exhausted (pass maxActivations <= 0 for DefaultActivationBudget).
 func (e *Engine) Run(stop StopCond, maxActivations int64) Result {
 	if maxActivations <= 0 {
-		maxActivations = 1_000_000_000
+		maxActivations = DefaultActivationBudget
 	}
 	stopped := stop(e)
 	for !stopped && e.activations < maxActivations {
@@ -178,7 +201,7 @@ func (e *Engine) RunTraced(stop StopCond, maxActivations, every int64) (Result, 
 		every = 1
 	}
 	if maxActivations <= 0 {
-		maxActivations = 1_000_000_000
+		maxActivations = DefaultActivationBudget
 	}
 	var trace []TracePoint
 	record := func() {

@@ -35,13 +35,24 @@ type ActivationSampler interface {
 	// MoveBall records that one ball moved from bin src to bin dst.
 	// Balls being identical, the sampler may move any ball residing in src.
 	MoveBall(src, dst int)
+	// AddBall records a new ball arriving in bin (dynamic churn).
+	AddBall(bin int)
+	// RemoveBall records a ball departing from bin (dynamic churn). Balls
+	// being identical, the sampler may remove any ball residing in bin; it
+	// panics if the bin is empty.
+	RemoveBall(bin int)
 	// Name identifies the sampler in benchmarks and logs.
 	Name() string
 }
 
 // BallList is the direct implementation: an indexed multiset of balls.
+// Every operation — sampling, moves, and churn — is O(1): ball ids are
+// kept dense by swap-deleting the departing ball with the highest id, and
+// pos tracks each ball's slot within its bin list so the relabelling
+// needs no scan.
 type BallList struct {
 	ballBin []int32   // ball id -> bin
+	pos     []int32   // ball id -> index within bins[ballBin[id]]
 	bins    [][]int32 // bin -> ball ids (unordered)
 }
 
@@ -52,12 +63,14 @@ func NewBallList() *BallList { return &BallList{} }
 func (b *BallList) Reset(v loadvec.Vector) {
 	m := v.Balls()
 	b.ballBin = make([]int32, 0, m)
+	b.pos = make([]int32, 0, m)
 	b.bins = make([][]int32, len(v))
 	id := int32(0)
 	for bin, load := range v {
 		lst := make([]int32, 0, load)
 		for j := 0; j < load; j++ {
 			b.ballBin = append(b.ballBin, int32(bin))
+			b.pos = append(b.pos, int32(j))
 			lst = append(lst, id)
 			id++
 		}
@@ -70,6 +83,13 @@ func (b *BallList) Sample(r *rng.RNG) int {
 	return int(b.ballBin[r.Intn(len(b.ballBin))])
 }
 
+// RandomBin returns a uniformly random ball's bin without any other state
+// change — the same draw as Sample, exposed for callers (Session churn)
+// that pick a departure target rather than an activation.
+func (b *BallList) RandomBin(r *rng.RNG) int {
+	return b.Sample(r)
+}
+
 // MoveBall implements ActivationSampler, moving an arbitrary ball out of
 // src in O(1) (the last one in src's list).
 func (b *BallList) MoveBall(src, dst int) {
@@ -79,8 +99,38 @@ func (b *BallList) MoveBall(src, dst int) {
 	}
 	ball := lst[len(lst)-1]
 	b.bins[src] = lst[:len(lst)-1]
+	b.pos[ball] = int32(len(b.bins[dst]))
 	b.bins[dst] = append(b.bins[dst], ball)
 	b.ballBin[ball] = int32(dst)
+}
+
+// AddBall implements ActivationSampler: the new ball takes the next dense
+// id, in O(1).
+func (b *BallList) AddBall(bin int) {
+	id := int32(len(b.ballBin))
+	b.ballBin = append(b.ballBin, int32(bin))
+	b.pos = append(b.pos, int32(len(b.bins[bin])))
+	b.bins[bin] = append(b.bins[bin], id)
+}
+
+// RemoveBall implements ActivationSampler: an arbitrary ball leaves bin in
+// O(1). The highest ball id is relabelled into the departing slot so ids
+// stay dense and Sample remains a single array index.
+func (b *BallList) RemoveBall(bin int) {
+	lst := b.bins[bin]
+	if len(lst) == 0 {
+		panic("sim: RemoveBall from empty bin")
+	}
+	gone := lst[len(lst)-1]
+	b.bins[bin] = lst[:len(lst)-1]
+	last := int32(len(b.ballBin) - 1)
+	if gone != last {
+		b.ballBin[gone] = b.ballBin[last]
+		b.pos[gone] = b.pos[last]
+		b.bins[b.ballBin[last]][b.pos[last]] = gone
+	}
+	b.ballBin = b.ballBin[:last]
+	b.pos = b.pos[:last]
 }
 
 // Name implements ActivationSampler.
@@ -152,6 +202,21 @@ func (f *Fenwick) Sample(r *rng.RNG) int {
 func (f *Fenwick) MoveBall(src, dst int) {
 	f.add(src+1, -1)
 	f.add(dst+1, +1)
+}
+
+// AddBall implements ActivationSampler: one point update, O(log n).
+func (f *Fenwick) AddBall(bin int) {
+	f.add(bin+1, +1)
+	f.m++
+}
+
+// RemoveBall implements ActivationSampler: one point update, O(log n).
+func (f *Fenwick) RemoveBall(bin int) {
+	if f.Load(bin) == 0 {
+		panic("sim: RemoveBall from empty bin")
+	}
+	f.add(bin+1, -1)
+	f.m--
 }
 
 // Name implements ActivationSampler.

@@ -38,25 +38,41 @@ func FromLoads(loads []int) Placement {
 	return Placement{loadvec.FromVector(loadvec.Vector(loads).Clone())}
 }
 
+// targetKind identifies which stop condition a Target expresses, so
+// option plumbing can dispatch on it without comparing description
+// strings.
+type targetKind int
+
+const (
+	targetPerfect targetKind = iota
+	targetBalanced
+	targetTime
+)
+
 // Target is a stop condition for a run.
 type Target struct {
+	kind targetKind
 	stop func(e *sim.Engine) bool
 	desc string
 }
 
+// String returns a stable description of the target ("perfect",
+// "disc<=x", "t=x") for logs.
+func (t Target) String() string { return t.desc }
+
 // UntilPerfect stops at perfect balance (disc < 1) — the paper's T.
 func UntilPerfect() Target {
-	return Target{stop: sim.UntilPerfect(), desc: "perfect"}
+	return Target{kind: targetPerfect, stop: sim.UntilPerfect(), desc: "perfect"}
 }
 
 // UntilBalanced stops at disc ≤ x.
 func UntilBalanced(x float64) Target {
-	return Target{stop: sim.UntilBalanced(x), desc: fmt.Sprintf("disc<=%g", x)}
+	return Target{kind: targetBalanced, stop: sim.UntilBalanced(x), desc: fmt.Sprintf("disc<=%g", x)}
 }
 
 // UntilTime stops at continuous time t.
 func UntilTime(t float64) Target {
-	return Target{stop: sim.UntilTime(t), desc: fmt.Sprintf("t=%g", t)}
+	return Target{kind: targetTime, stop: sim.UntilTime(t), desc: fmt.Sprintf("t=%g", t)}
 }
 
 // Topology restricts destination sampling to a graph neighborhood
@@ -238,7 +254,7 @@ func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
 // stop returns the effective stop condition, adapting UntilPerfect to the
 // Nash condition when speeds are configured.
 func (r *Runner) stop() func(e *sim.Engine) bool {
-	if r.speeds != nil && r.target.desc == "perfect" {
+	if r.speeds != nil && r.target.kind == targetPerfect {
 		speeds := r.speeds
 		return func(e *sim.Engine) bool {
 			return hetero.IsSpeedNash(e.Cfg().Loads(), speeds)

@@ -10,24 +10,23 @@ import (
 )
 
 // Session is a long-lived balancing system supporting dynamic churn:
-// balls may join and leave between stretches of RLS execution. It models
-// the self-stabilization settings from the paper's motivation (P2P
-// networks, channel allocation) where the population changes over time
-// and the protocol keeps re-balancing; RLS needs no restart or global
-// coordination after churn — exactly its selling point in §1.
+// balls may join and leave between (and interleaved with) stretches of
+// RLS execution. It models the self-stabilization settings from the
+// paper's motivation (P2P networks, channel allocation) where the
+// population changes over time and the protocol keeps re-balancing; RLS
+// needs no restart or global coordination after churn — exactly its
+// selling point in §1.
 //
-// Churn events invalidate the running engine (the number of balls
-// changes the activation rate), so the engine is rebuilt lazily on the
-// next Run* call; accumulated time and activation counts persist.
+// The session is churn-native: a single engine persists for the whole
+// session lifetime, and every join/leave is absorbed incrementally —
+// O(1) per event — by updating the live load configuration and the
+// activation sampler in place. The engine's Exp(m) activation gap reads
+// the live ball count, so the activation rate tracks the population with
+// no rebuild, snapshot, or state transfer.
 type Session struct {
-	loads  loadvec.Vector
+	engine *sim.Engine
+	list   *sim.BallList // the engine's sampler, for O(1) uniform-ball picks
 	stream *rng.RNG
-
-	engine *sim.Engine // nil when invalidated by churn
-
-	time        float64
-	activations int64
-	moves       int64
 }
 
 // NewSession creates a session with n empty bins.
@@ -35,150 +34,107 @@ func NewSession(n int, seed uint64) *Session {
 	if n < 1 {
 		panic("rls: NewSession needs at least one bin")
 	}
+	stream := rng.New(seed)
+	list := sim.NewBallList()
 	return &Session{
-		loads:  make(loadvec.Vector, n),
-		stream: rng.New(seed),
+		engine: sim.NewEngine(make(loadvec.Vector, n), core.RLS{}, list, stream),
+		list:   list,
+		stream: stream,
 	}
 }
 
 // N returns the number of bins.
-func (s *Session) N() int { return len(s.loads) }
+func (s *Session) N() int { return s.engine.Cfg().N() }
 
 // M returns the current number of balls.
-func (s *Session) M() int { return s.currentLoads().Balls() }
+func (s *Session) M() int { return s.engine.Cfg().M() }
 
 // Loads returns a copy of the current load vector.
-func (s *Session) Loads() []int { return s.currentLoads().Clone() }
+func (s *Session) Loads() []int { return s.engine.Cfg().Snapshot() }
 
 // Disc returns the current discrepancy.
 func (s *Session) Disc() float64 {
 	if s.M() == 0 {
 		return 0
 	}
-	return s.currentLoads().Disc()
+	return s.engine.Cfg().Disc()
 }
 
 // Time returns the total elapsed continuous time across the session.
-func (s *Session) Time() float64 { return s.time }
+func (s *Session) Time() float64 { return s.engine.Time() }
 
 // Activations returns the total ball activations across the session.
-func (s *Session) Activations() int64 { return s.activations }
+func (s *Session) Activations() int64 { return s.engine.Activations() }
 
 // Moves returns the total protocol moves across the session.
-func (s *Session) Moves() int64 { return s.moves }
+func (s *Session) Moves() int64 { return s.engine.Moves() }
 
-// currentLoads returns the authoritative load vector (from the live
-// engine if one exists).
-func (s *Session) currentLoads() loadvec.Vector {
-	if s.engine != nil {
-		return s.engine.Cfg().Loads()
-	}
-	return s.loads
-}
-
-// AddBall inserts one ball into the given bin (a user joining).
+// AddBall inserts one ball into the given bin (a user joining), in O(1).
 func (s *Session) AddBall(bin int) error {
-	if bin < 0 || bin >= len(s.loads) {
+	if bin < 0 || bin >= s.N() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
 	}
-	s.invalidate()
-	s.loads[bin]++
+	s.engine.AddBall(bin)
 	return nil
 }
 
 // AddBallRandom inserts one ball into a uniformly random bin and returns
 // the bin.
 func (s *Session) AddBallRandom() int {
-	s.invalidate()
-	bin := s.stream.Intn(len(s.loads))
-	s.loads[bin]++
+	bin := s.stream.Intn(s.N())
+	s.engine.AddBall(bin)
 	return bin
 }
 
-// RemoveBall removes one ball from the given bin (a user leaving).
+// RemoveBall removes one ball from the given bin (a user leaving), in
+// O(1).
 func (s *Session) RemoveBall(bin int) error {
-	if bin < 0 || bin >= len(s.loads) {
+	if bin < 0 || bin >= s.N() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
 	}
-	s.invalidate()
-	if s.loads[bin] == 0 {
+	if s.engine.Cfg().Load(bin) == 0 {
 		return fmt.Errorf("rls: bin %d is empty", bin)
 	}
-	s.loads[bin]--
+	s.engine.RemoveBall(bin)
 	return nil
 }
 
 // RemoveRandomBall removes a uniformly random ball and returns the bin it
-// left.
+// left, in O(1) (balls being identical, removing any resident of a
+// load-proportionally sampled bin removes a uniform ball).
 func (s *Session) RemoveRandomBall() (int, error) {
-	s.invalidate()
-	m := s.loads.Balls()
-	if m == 0 {
+	if s.M() == 0 {
 		return 0, fmt.Errorf("rls: no balls to remove")
 	}
-	k := s.stream.Intn(m)
-	for bin, l := range s.loads {
-		if k < l {
-			s.loads[bin]--
-			return bin, nil
-		}
-		k -= l
-	}
-	panic("rls: unreachable")
+	bin := s.list.RandomBin(s.stream)
+	s.engine.RemoveBall(bin)
+	return bin, nil
 }
 
-// invalidate folds the live engine's state back into the session.
-func (s *Session) invalidate() {
-	if s.engine == nil {
-		return
-	}
-	s.loads = s.engine.Cfg().Snapshot()
-	s.engine = nil
-}
-
-// ensureEngine (re)builds the engine after churn.
-func (s *Session) ensureEngine() error {
-	if s.engine != nil {
-		return nil
-	}
-	if s.loads.Balls() == 0 {
+// RunFor advances the protocol by duration d of continuous time on the
+// live engine.
+func (s *Session) RunFor(d float64) error {
+	if s.M() == 0 {
 		return fmt.Errorf("rls: session has no balls")
 	}
-	s.engine = sim.NewEngine(s.loads, core.RLS{}, sim.NewBallList(), s.stream)
-	return nil
-}
-
-// RunFor advances the protocol by duration d of continuous time.
-func (s *Session) RunFor(d float64) error {
-	if err := s.ensureEngine(); err != nil {
-		return err
-	}
-	before := s.engine.Time()
-	beforeActs := s.engine.Activations()
-	beforeMoves := s.engine.Moves()
-	s.engine.Run(sim.UntilTime(before+d), 0)
-	s.time += s.engine.Time() - before
-	s.activations += s.engine.Activations() - beforeActs
-	s.moves += s.engine.Moves() - beforeMoves
+	// The budget is relative to the running activation counter: the engine
+	// persists for the session lifetime, so an absolute cap would starve
+	// long sessions.
+	s.engine.Run(sim.UntilTime(s.engine.Time()+d), s.engine.Activations()+sim.DefaultActivationBudget)
 	return nil
 }
 
 // RunUntilPerfect advances until perfect balance (or the activation
 // budget is exhausted) and reports whether balance was reached.
 func (s *Session) RunUntilPerfect(budget int64) (bool, error) {
-	if err := s.ensureEngine(); err != nil {
-		return false, err
+	if s.M() == 0 {
+		return false, fmt.Errorf("rls: session has no balls")
 	}
-	before := s.engine.Time()
-	beforeActs := s.engine.Activations()
-	beforeMoves := s.engine.Moves()
-	absBudget := int64(0) // engine default
-	if budget > 0 {
-		absBudget = beforeActs + budget
+	if budget <= 0 {
+		budget = sim.DefaultActivationBudget
 	}
-	res := s.engine.Run(sim.UntilPerfect(), absBudget)
-	s.time += s.engine.Time() - before
-	s.activations += s.engine.Activations() - beforeActs
-	s.moves += s.engine.Moves() - beforeMoves
+	// Relative to the running counter, like RunFor: an absolute cap would
+	// starve sessions whose persistent engine has run long already.
+	res := s.engine.Run(sim.UntilPerfect(), s.engine.Activations()+budget)
 	return res.Stopped, nil
 }
