@@ -1,0 +1,14 @@
+# Convenience entry points; CI runs the same commands.
+
+.PHONY: test vet bench
+
+test:
+	go build ./... && go test ./...
+
+vet:
+	go vet ./...
+
+# bench regenerates BENCH_PR2.json, the perf trajectory tracked per PR
+# (balancing runs, direct-vs-jump end-game, session churn).
+bench:
+	./scripts/bench.sh

@@ -10,6 +10,7 @@ package rls
 // regimes) follow at the bottom.
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
@@ -62,6 +63,7 @@ func BenchmarkExpX3(b *testing.B)   { benchExperiment(b, "X3") }
 func BenchmarkExpA1(b *testing.B)   { benchExperiment(b, "A1") }
 func BenchmarkExpA2(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkExpA3(b *testing.B)   { benchExperiment(b, "A3") }
+func BenchmarkExpA4(b *testing.B)   { benchExperiment(b, "A4") }
 func BenchmarkExpO1(b *testing.B)   { benchExperiment(b, "O1") }
 
 // BenchmarkBalanceToPerfection measures whole-run cost of the public API
@@ -92,6 +94,34 @@ func BenchmarkBalanceToPerfection(b *testing.B) {
 			}
 			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
 		})
+	}
+}
+
+// BenchmarkEndGame measures whole UntilPerfect runs at n = m from the
+// all-in-one start — the regime the ISSUE's jump engine targets: the
+// direct engine spends ~m·n/W activations per move near balance, the
+// jump engine exactly one Step. The jump/direct wall-clock ratio is the
+// headline speedup tracked in BENCH_PR2.json.
+func BenchmarkEndGame(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		for _, mode := range []EngineMode{DirectEngine, JumpEngine} {
+			b.Run(fmt.Sprintf("n=m=%d/%s", n, mode), func(b *testing.B) {
+				var totalActs, totalMoves int64
+				for i := 0; i < b.N; i++ {
+					res, err := New(n, n, WithSeed(uint64(i)+1), WithEngineMode(mode)).Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Reached {
+						b.Fatal("did not balance")
+					}
+					totalActs += res.Activations
+					totalMoves += res.Moves
+				}
+				b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+				b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+			})
+		}
 	}
 }
 
@@ -195,7 +225,7 @@ func TestBenchmarkIDsMatchRegistry(t *testing.T) {
 	have := []string{
 		"F1", "F2", "F3", "T1", "T2", "LB1", "LB2", "DML",
 		"P1", "P2", "P3", "L8", "L9", "L16", "CMP1", "CMP2", "CMP3",
-		"X1", "X2", "X3", "A1", "A2", "A3", "O1",
+		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "O1",
 	}
 	if len(have) != len(want) {
 		t.Fatalf("bench list has %d, registry %d", len(have), len(want))

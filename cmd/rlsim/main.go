@@ -8,6 +8,7 @@
 //	rlsim -n 64 -m 512 -topology ring
 //	rlsim -n 16 -m 160 -speeds bimodal
 //	rlsim -n 32 -m 320 -strict -target disc=2
+//	rlsim -n 4096 -m 4096 -engine jump
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		topology  = flag.String("topology", "complete", "topology: complete|ring|torus|hypercube")
 		speeds    = flag.String("speeds", "", "bin speed profile: uniform|bimodal|powerlaw (empty = unit speeds)")
 		strict    = flag.Bool("strict", false, "use the strict (>) tie rule of [12]/[11]")
+		engine    = flag.String("engine", "direct", "engine mode: direct (per-activation) | jump (rejection-free)")
 		trace     = flag.Int64("trace", 0, "print a trace point every K activations (0 = off)")
 		plot      = flag.Bool("plot", true, "render initial/final configurations as ASCII bars")
 		csv       = flag.Bool("csv", false, "emit the trace as CSV instead of a table (implies -trace)")
@@ -40,14 +42,22 @@ func main() {
 	if *csv && *trace <= 0 {
 		*trace = 100
 	}
-	if err := run(*n, *m, *seed, *placement, *target, *topology, *speeds, *strict, *trace, *plot && !*csv, *csv); err != nil {
+	if err := run(*n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *strict, *trace, *plot && !*csv, *csv); err != nil {
 		fmt.Fprintf(os.Stderr, "rlsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, m int, seed uint64, placement, target, topology, speeds string, strict bool, trace int64, plot, csv bool) error {
+func run(n, m int, seed uint64, placement, target, topology, speeds, engine string, strict bool, trace int64, plot, csv bool) error {
 	opts := []rls.Option{rls.WithSeed(seed)}
+
+	switch engine {
+	case "direct":
+	case "jump":
+		opts = append(opts, rls.WithEngineMode(rls.JumpEngine))
+	default:
+		return fmt.Errorf("unknown engine mode %q", engine)
+	}
 
 	switch placement {
 	case "all-in-one":

@@ -4,7 +4,7 @@ import "testing"
 
 func TestRunAllPlacements(t *testing.T) {
 	for _, p := range []string{"all-in-one", "random", "two-choice", "spread", "delta-pair"} {
-		if err := run(8, 32, 1, p, "perfect", "complete", "", false, 0, false, false); err != nil {
+		if err := run(8, 32, 1, p, "perfect", "complete", "", "direct", false, 0, false, false); err != nil {
 			t.Errorf("placement %s: %v", p, err)
 		}
 	}
@@ -13,7 +13,7 @@ func TestRunAllPlacements(t *testing.T) {
 func TestRunTargets(t *testing.T) {
 	cases := []string{"perfect", "disc=2", "time=0.5"}
 	for _, target := range cases {
-		if err := run(8, 32, 1, "all-in-one", target, "complete", "", false, 0, false, false); err != nil {
+		if err := run(8, 32, 1, "all-in-one", target, "complete", "", "direct", false, 0, false, false); err != nil {
 			t.Errorf("target %s: %v", target, err)
 		}
 	}
@@ -21,7 +21,7 @@ func TestRunTargets(t *testing.T) {
 
 func TestRunTopologies(t *testing.T) {
 	for _, topo := range []string{"complete", "ring", "torus", "hypercube"} {
-		if err := run(16, 64, 1, "all-in-one", "perfect", topo, "", false, 0, false, false); err != nil {
+		if err := run(16, 64, 1, "all-in-one", "perfect", topo, "", "direct", false, 0, false, false); err != nil {
 			t.Errorf("topology %s: %v", topo, err)
 		}
 	}
@@ -29,38 +29,49 @@ func TestRunTopologies(t *testing.T) {
 
 func TestRunSpeedProfiles(t *testing.T) {
 	for _, sp := range []string{"", "uniform", "bimodal", "powerlaw"} {
-		if err := run(8, 64, 1, "all-in-one", "perfect", "complete", sp, false, 0, false, false); err != nil {
+		if err := run(8, 64, 1, "all-in-one", "perfect", "complete", sp, "direct", false, 0, false, false); err != nil {
 			t.Errorf("speeds %s: %v", sp, err)
 		}
 	}
 }
 
 func TestRunStrictAndTrace(t *testing.T) {
-	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", true, 10, true, false); err != nil {
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "direct", true, 10, true, false); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunCSVTrace(t *testing.T) {
-	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", false, 10, false, true); err != nil {
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "direct", false, 10, false, true); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := []struct {
-		name                                string
-		placement, target, topology, speeds string
+		name                                        string
+		placement, target, topology, speeds, engine string
 	}{
-		{"bad placement", "nope", "perfect", "complete", ""},
-		{"bad target", "random", "nope", "complete", ""},
-		{"bad target value", "random", "disc=x", "complete", ""},
-		{"bad topology", "random", "perfect", "nope", ""},
-		{"bad speeds", "random", "perfect", "complete", "nope"},
+		{"bad placement", "nope", "perfect", "complete", "", "direct"},
+		{"bad target", "random", "nope", "complete", "", "direct"},
+		{"bad target value", "random", "disc=x", "complete", "", "direct"},
+		{"bad topology", "random", "perfect", "nope", "", "direct"},
+		{"bad speeds", "random", "perfect", "complete", "nope", "direct"},
+		{"bad engine", "random", "perfect", "complete", "", "nope"},
+		{"jump+topology", "random", "perfect", "ring", "", "jump"},
 	}
 	for _, c := range cases {
-		if err := run(8, 32, 1, c.placement, c.target, c.topology, c.speeds, false, 0, false, false); err == nil {
+		if err := run(8, 32, 1, c.placement, c.target, c.topology, c.speeds, c.engine, false, 0, false, false); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
+	}
+}
+
+func TestRunJumpEngine(t *testing.T) {
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", false, 0, false, false); err != nil {
+		t.Error(err)
+	}
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", false, 10, false, true); err != nil {
+		t.Errorf("jump trace: %v", err)
 	}
 }

@@ -14,12 +14,45 @@
 // stop target, engine choice), and Run it. Session is the long-running
 // service core: it supports dynamic ball churn (joins and leaves) for
 // self-stabilization scenarios, absorbing each event incrementally into
-// one persistent engine — O(1) per join/leave, with the activation rate
-// tracking the live population — instead of rebuilding O(m) state.
-// Quantities from the paper's analysis (harmonic bounds, Theorem 1
-// predictors) are exposed as plain functions.
+// one persistent engine — with the activation rate tracking the live
+// population — instead of rebuilding O(m) state. Quantities from the
+// paper's analysis (harmonic bounds, Theorem 1 predictors) are exposed as
+// plain functions.
+//
+// # Engine modes
+//
+// Runs execute in one of two modes, selected with WithEngineMode (and
+// WithSessionEngineMode for sessions):
+//
+//   - DirectEngine (default) simulates every activation: an Exp(m) time
+//     gap, a uniform ball, a uniform destination, the protocol's accept
+//     test. Cost is O(1) per activation — but near balance almost every
+//     activation is a rejected null move, so whole runs cost
+//     O(activations) ≈ O(m·n/W) per move.
+//   - JumpEngine simulates only the embedded jump chain of productive
+//     moves, the object the paper's analysis is phrased over (Theorem 1,
+//     Lemmas 15–16). A level index over the load histogram maintains the
+//     total move weight W = Σ_v v·count[v]·C(v−1) in O(log Δ) per move;
+//     each step skips a Geometric(W/(m·n)) block of null activations,
+//     advances time by the matching Gamma(k, m) gap, and samples the
+//     productive (src, dst) pair exactly. Cost is O(log Δ) per move.
+//
+// The two modes induce the identical law on every quantity observed at
+// moves — balancing times, phase-crossing times, move counts, final
+// configurations, and the activation counter (experiment A4 KS-tests the
+// balancing-time distributions; run `go test -bench ExpA4`). They are not
+// byte-identical streams: the jump engine draws different random numbers.
+// The only observable difference is granularity between moves: direct
+// runs can trace or stop at any activation, jump runs only at moves, so
+// per-activation traces coarsen to per-move blocks and time- or
+// activation-targeted stops may overshoot by one block. Choose JumpEngine
+// for balancing-time experiments, end-game-heavy workloads (m ≈ n), and
+// long-lived sessions near balance; choose DirectEngine for strict tie
+// rules, graph topologies, heterogeneous speeds, or exact per-activation
+// trajectories.
 //
 // The experiment suite reproducing every figure and claim of the paper
 // lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and
 // the benchmarks in bench_test.go; see DESIGN.md and EXPERIMENTS.md.
+// `make bench` regenerates BENCH_PR2.json, the tracked perf trajectory.
 package rls

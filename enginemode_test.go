@@ -1,0 +1,142 @@
+package rls
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestJumpRunnerBalances(t *testing.T) {
+	res, err := New(64, 256, WithSeed(5), WithEngineMode(JumpEngine)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatal("did not balance")
+	}
+	if res.Disc >= 1 {
+		t.Fatalf("final disc = %g", res.Disc)
+	}
+	if res.Moves >= res.Activations {
+		t.Fatalf("moves %d not below activations %d", res.Moves, res.Activations)
+	}
+	// Phase times are recorded at moves in both modes; the perfect-balance
+	// crossing must equal the run's stop time.
+	if res.Phases.Perfect != res.Time {
+		t.Errorf("perfect phase time %g != stop time %g", res.Phases.Perfect, res.Time)
+	}
+}
+
+func TestJumpRunnerRejectsIncompatibleOptions(t *testing.T) {
+	cases := map[string]*Runner{
+		"strict":   New(16, 64, WithEngineMode(JumpEngine), WithStrictTieRule()),
+		"topology": New(16, 64, WithEngineMode(JumpEngine), WithTopology(RingTopology())),
+		"speeds":   New(16, 64, WithEngineMode(JumpEngine), WithSpeeds(make([]float64, 16))),
+		"fenwick":  New(16, 64, WithEngineMode(JumpEngine), WithFenwickEngine()),
+	}
+	for name, r := range cases {
+		if _, err := r.Run(); err == nil {
+			t.Errorf("%s + jump engine did not error", name)
+		}
+	}
+}
+
+func TestJumpRunnerTraced(t *testing.T) {
+	res, trace, err := New(16, 128, WithSeed(19), WithEngineMode(JumpEngine)).RunTraced(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatal("did not balance")
+	}
+	if len(trace) < 2 {
+		t.Fatalf("trace too short: %d", len(trace))
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Activations <= trace[i-1].Activations {
+			t.Fatal("trace activations not strictly increasing")
+		}
+		if trace[i].Time < trace[i-1].Time {
+			t.Fatal("trace time not monotone")
+		}
+	}
+	if last := trace[len(trace)-1]; last.Activations != res.Activations {
+		t.Errorf("final trace point at %d activations, run ended at %d", last.Activations, res.Activations)
+	}
+}
+
+func TestEngineModeString(t *testing.T) {
+	if DirectEngine.String() != "direct" || JumpEngine.String() != "jump" {
+		t.Fatalf("mode strings: %q, %q", DirectEngine, JumpEngine)
+	}
+}
+
+// TestSessionJumpMode drives the full churn surface in jump mode.
+func TestSessionJumpMode(t *testing.T) {
+	s := NewSession(16, 42, WithSessionEngineMode(JumpEngine))
+	if s.Mode() != JumpEngine {
+		t.Fatal("mode not recorded")
+	}
+	for i := 0; i < 160; i++ {
+		s.AddBallRandom()
+	}
+	ok, err := s.RunUntilPerfect(1_000_000)
+	if err != nil || !ok {
+		t.Fatalf("balance failed: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.AddBall(i % 16); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RemoveRandomBall(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunFor(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.M() != 160 {
+		t.Fatalf("m = %d after balanced churn", s.M())
+	}
+	if ok, err := s.RunUntilPerfect(1_000_000); err != nil || !ok {
+		t.Fatalf("rebalance failed: %v", err)
+	}
+	if s.Disc() >= 1 {
+		t.Fatalf("disc = %g", s.Disc())
+	}
+}
+
+// TestSessionModesAgreeInLaw compares the two modes' rebalance times
+// after identical churn histories across many seeds.
+func TestSessionModesAgreeInLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical comparison")
+	}
+	run := func(mode EngineMode, seed uint64) float64 {
+		s := NewSession(8, seed, WithSessionEngineMode(mode))
+		for i := 0; i < 64; i++ {
+			s.AddBallRandom()
+		}
+		if ok, err := s.RunUntilPerfect(10_000_000); err != nil || !ok {
+			t.Fatalf("balance failed: %v", err)
+		}
+		start := s.Time()
+		for i := 0; i < 8; i++ {
+			s.AddBall(0)
+		}
+		if ok, err := s.RunUntilPerfect(10_000_000); err != nil || !ok {
+			t.Fatalf("rebalance failed: %v", err)
+		}
+		return s.Time() - start
+	}
+	const reps = 300
+	direct := make([]float64, reps)
+	jump := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		direct[i] = run(DirectEngine, uint64(i)+1)
+		jump[i] = run(JumpEngine, uint64(i)+100003)
+	}
+	if same, d := stats.SameDistribution(direct, jump, 0.001); !same {
+		t.Errorf("rebalance-time KS D = %g rejects same law", d)
+	}
+}

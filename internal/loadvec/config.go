@@ -26,6 +26,10 @@ type Config struct {
 	// sumOver = Σ_{i: ℓ_i > ∅} ℓ_i, to derive overloaded balls without a
 	// scan: A = sumOver − h·∅ (exactly (n·sumOver − h·m)/n).
 	sumOver int
+
+	// idx is the opt-in level index for the rejection-free jump engine
+	// (see levelindex.go); nil unless EnableLevelIndex was called.
+	idx *levelIndex
 }
 
 // NewConfig wraps a copy of the given load vector. It panics on an empty
@@ -191,6 +195,11 @@ func (c *Config) Move(src, dst int) {
 	} else if c.count[c.max] == 0 {
 		c.max--
 	}
+
+	if c.idx != nil {
+		c.idx.transition(src, v, v-1)
+		c.idx.transition(dst, w, w+1)
+	}
 }
 
 // AddBall inserts one ball into bin (a dynamic arrival), updating every
@@ -229,6 +238,9 @@ func (c *Config) AddBall(bin int) {
 	if v == c.min && c.count[v] == 0 {
 		c.min = v + 1
 	}
+	if c.idx != nil {
+		c.idx.transition(bin, v, v+1)
+	}
 }
 
 // RemoveBall removes one ball from bin (a dynamic departure), updating
@@ -262,6 +274,9 @@ func (c *Config) RemoveBall(bin int) {
 	}
 	if v == c.max && c.count[v] == 0 {
 		c.max = v - 1
+	}
+	if c.idx != nil {
+		c.idx.transition(bin, v, v-1)
 	}
 }
 
@@ -325,7 +340,7 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("loadvec: histogram mismatch at load %d: %d vs %d", v, a, b)
 		}
 	}
-	return nil
+	return c.validateIndex()
 }
 
 // Clone returns an independent deep copy of the configuration.
@@ -333,6 +348,9 @@ func (c *Config) Clone() *Config {
 	cp := *c
 	cp.loads = c.loads.Clone()
 	cp.count = append([]int(nil), c.count...)
+	if c.idx != nil {
+		cp.idx = c.idx.clone()
+	}
 	return &cp
 }
 

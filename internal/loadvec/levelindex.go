@@ -1,0 +1,329 @@
+package loadvec
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// levelIndex is the opt-in structure behind the rejection-free jump
+// engine. It organizes the bins by load level and maintains, under the
+// same single-bin level transitions that drive the histogram, everything
+// the jump chain needs to sample a *productive* RLS move exactly:
+//
+//   - binsAt[v] lists the bins currently at load v (swap-delete, O(1)),
+//     so a uniform bin within a level is one array index;
+//   - cnt is a Fenwick tree over count[v], giving the prefix bin count
+//     C(v) = #{bins with load ≤ v} and weighted level sampling for the
+//     destination side;
+//   - bal is a Fenwick tree over v·count[v] (total weight m), giving
+//     load-proportional — i.e. uniform-ball — bin sampling;
+//   - mvw is a Fenwick tree over the per-level move weight
+//     s[v] = v·count[v]·C(v−1), whose total W = Σ_v s[v] is exactly
+//     (m·n)·P(a uniform activation is a productive move): the activated
+//     ball sits at level v with probability v·count[v]/m and its uniform
+//     destination accepts with probability C(v−1)/n.
+//
+// A level transition touches count at two adjacent levels and C at one,
+// so only two s-entries change and every update is O(log Δ) in the
+// indexed level range. The index is self-contained: it reads only its own
+// lists and trees, never the Config histogram mid-update, so the two
+// transitions of a Move may be applied sequentially.
+type levelIndex struct {
+	binsAt [][]int32 // level -> bins at that level (unordered)
+	pos    []int32   // bin -> position within binsAt[load]
+	cnt    *fenwick  // count[v]
+	bal    *fenwick  // v·count[v]
+	mvw    *fenwick  // s[v] = v·count[v]·C(v−1)
+	sval   []int64   // current s[v] values (to derive Fenwick deltas)
+	wTotal int64     // W = Σ_v s[v]
+	size   int       // number of indexed levels (levels 0..size-1)
+}
+
+// fenwick is a 1-based Fenwick (binary indexed) tree over int64 values
+// with the standard O(log n) point update, prefix sum, and weighted-find
+// descend.
+type fenwick struct {
+	tree []int64
+	n    int
+	top  int // highest power of two ≤ n
+}
+
+func newFenwick(n int) *fenwick {
+	f := &fenwick{tree: make([]int64, n+1), n: n, top: 1}
+	for f.top*2 <= n {
+		f.top *= 2
+	}
+	return f
+}
+
+// add adds delta to the value at 0-based index i.
+func (f *fenwick) add(i int, delta int64) {
+	for pos := i + 1; pos <= f.n; pos += pos & (-pos) {
+		f.tree[pos] += delta
+	}
+}
+
+// prefix returns the sum of values at 0-based indices 0..i (0 for i < 0).
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	for pos := i + 1; pos > 0; pos -= pos & (-pos) {
+		s += f.tree[pos]
+	}
+	return s
+}
+
+// find returns the smallest 0-based index i with prefix(i) > target,
+// plus the remainder target − prefix(i−1) ∈ [0, value(i)). The caller
+// guarantees 0 ≤ target < total.
+func (f *fenwick) find(target int64) (int, int64) {
+	pos := 0
+	for step := f.top; step > 0; step >>= 1 {
+		if next := pos + step; next <= f.n && f.tree[next] <= target {
+			pos = next
+			target -= f.tree[next]
+		}
+	}
+	return pos, target
+}
+
+// newLevelIndex builds the index for the configuration's current state.
+func newLevelIndex(c *Config) *levelIndex {
+	size := 4
+	for size <= c.max+1 {
+		size *= 2
+	}
+	x := &levelIndex{
+		binsAt: make([][]int32, size),
+		pos:    make([]int32, c.n),
+		sval:   make([]int64, size),
+		size:   size,
+	}
+	for i, v := range c.loads {
+		x.pos[i] = int32(len(x.binsAt[v]))
+		x.binsAt[v] = append(x.binsAt[v], int32(i))
+	}
+	x.rebuildTrees()
+	return x
+}
+
+// rebuildTrees derives all three Fenwick trees (and sval/wTotal) from the
+// binsAt lists alone. Used on construction and when the level range grows.
+func (x *levelIndex) rebuildTrees() {
+	x.cnt = newFenwick(x.size)
+	x.bal = newFenwick(x.size)
+	x.mvw = newFenwick(x.size)
+	x.wTotal = 0
+	for v, lst := range x.binsAt {
+		if len(lst) == 0 {
+			continue
+		}
+		x.cnt.add(v, int64(len(lst)))
+		if v > 0 {
+			x.bal.add(v, int64(v)*int64(len(lst)))
+		}
+	}
+	for v := range x.sval {
+		x.sval[v] = 0
+		if v > 0 {
+			if cn := int64(len(x.binsAt[v])); cn > 0 {
+				x.sval[v] = int64(v) * cn * x.cnt.prefix(v-1)
+			}
+		}
+		if x.sval[v] != 0 {
+			x.mvw.add(v, x.sval[v])
+			x.wTotal += x.sval[v]
+		}
+	}
+}
+
+// grow extends the indexed level range to cover `need` and rebuilds the
+// trees from the lists (amortized O(1) per transition by doubling).
+func (x *levelIndex) grow(need int) {
+	size := x.size
+	for size <= need {
+		size *= 2
+	}
+	ext := make([][]int32, size-len(x.binsAt))
+	x.binsAt = append(x.binsAt, ext...)
+	x.sval = append(x.sval, make([]int64, size-len(x.sval))...)
+	x.size = size
+	x.rebuildTrees()
+}
+
+// transition records that bin moved from level `from` to level `to`
+// (|from−to| = 1). It updates the lists, the count and ball-weight trees,
+// and refreshes the move weight at exactly the two levels whose inputs
+// changed: count at from/to, and C at min(from,to) which feeds
+// s[min+1] = s[max].
+func (x *levelIndex) transition(bin, from, to int) {
+	if to >= x.size {
+		x.grow(to)
+	}
+	lst := x.binsAt[from]
+	p := x.pos[bin]
+	last := lst[len(lst)-1]
+	lst[p] = last
+	x.pos[last] = p
+	x.binsAt[from] = lst[:len(lst)-1]
+	x.pos[bin] = int32(len(x.binsAt[to]))
+	x.binsAt[to] = append(x.binsAt[to], int32(bin))
+
+	x.cnt.add(from, -1)
+	x.cnt.add(to, 1)
+	if from > 0 {
+		x.bal.add(from, int64(-from))
+	}
+	if to > 0 {
+		x.bal.add(to, int64(to))
+	}
+	x.refreshWeight(from)
+	x.refreshWeight(to)
+}
+
+// refreshWeight recomputes s[v] = v·count[v]·C(v−1) from the live trees
+// and applies the difference as a point update.
+func (x *levelIndex) refreshWeight(v int) {
+	var s int64
+	if v > 0 {
+		if cn := int64(len(x.binsAt[v])); cn > 0 {
+			s = int64(v) * cn * x.cnt.prefix(v-1)
+		}
+	}
+	if d := s - x.sval[v]; d != 0 {
+		x.mvw.add(v, d)
+		x.sval[v] = s
+		x.wTotal += d
+	}
+}
+
+// clone returns an independent deep copy of the index.
+func (x *levelIndex) clone() *levelIndex {
+	cp := &levelIndex{
+		binsAt: make([][]int32, len(x.binsAt)),
+		pos:    append([]int32(nil), x.pos...),
+		cnt:    &fenwick{tree: append([]int64(nil), x.cnt.tree...), n: x.cnt.n, top: x.cnt.top},
+		bal:    &fenwick{tree: append([]int64(nil), x.bal.tree...), n: x.bal.n, top: x.bal.top},
+		mvw:    &fenwick{tree: append([]int64(nil), x.mvw.tree...), n: x.mvw.n, top: x.mvw.top},
+		sval:   append([]int64(nil), x.sval...),
+		wTotal: x.wTotal,
+		size:   x.size,
+	}
+	for v, lst := range x.binsAt {
+		if len(lst) > 0 {
+			cp.binsAt[v] = append([]int32(nil), lst...)
+		}
+	}
+	return cp
+}
+
+// EnableLevelIndex builds the level index over the current configuration.
+// Subsequent Move/AddBall/RemoveBall calls maintain it incrementally in
+// O(log Δ); until enabled, Config carries no index and pays nothing.
+// Enabling twice is a no-op.
+func (c *Config) EnableLevelIndex() {
+	if c.idx == nil {
+		c.idx = newLevelIndex(c)
+	}
+}
+
+// LevelIndexed reports whether the level index is enabled.
+func (c *Config) LevelIndexed() bool { return c.idx != nil }
+
+// MoveWeight returns W = Σ_v v·count[v]·C(v−1), where C(w) is the number
+// of bins with load ≤ w. W/(m·n) is exactly the probability that a
+// uniform ball activation is a productive RLS move, and W = 0 iff every
+// bin holds the same load. It panics unless the level index is enabled.
+func (c *Config) MoveWeight() int64 {
+	if c.idx == nil {
+		panic("loadvec: MoveWeight without EnableLevelIndex")
+	}
+	return c.idx.wTotal
+}
+
+// SampleMovePair draws a productive RLS move (src, dst) with the exact
+// law of the embedded jump chain: P(src at level v, dst at level w) ∝
+// v·count[v]·count[w] for w ≤ v−1, uniform over the bins within each
+// level. It panics if the index is disabled or no productive move exists
+// (MoveWeight 0).
+func (c *Config) SampleMovePair(r *rng.RNG) (src, dst int) {
+	x := c.idx
+	if x == nil {
+		panic("loadvec: SampleMovePair without EnableLevelIndex")
+	}
+	if x.wTotal <= 0 {
+		panic("loadvec: SampleMovePair with zero move weight")
+	}
+	v, _ := x.mvw.find(r.Int63n(x.wTotal))
+	lst := x.binsAt[v]
+	src = int(lst[r.Intn(len(lst))])
+	below := x.cnt.prefix(v - 1) // ≥ 1: s[v] > 0 requires a lower level
+	w, rem := x.cnt.find(r.Int63n(below))
+	dst = int(x.binsAt[w][rem])
+	return src, dst
+}
+
+// SampleBallBin returns the bin of a uniformly random ball (bins sampled
+// proportionally to load, uniform within a level) in O(log Δ) without any
+// per-ball state. It panics if the index is disabled or no balls exist.
+func (c *Config) SampleBallBin(r *rng.RNG) int {
+	x := c.idx
+	if x == nil {
+		panic("loadvec: SampleBallBin without EnableLevelIndex")
+	}
+	if c.m == 0 {
+		panic("loadvec: SampleBallBin with no balls")
+	}
+	v, rem := x.bal.find(r.Int63n(int64(c.m)))
+	return int(x.binsAt[v][rem/int64(v)])
+}
+
+// validateIndex cross-checks every piece of level-index state against a
+// from-scratch recompute; part of Validate.
+func (c *Config) validateIndex() error {
+	x := c.idx
+	if x == nil {
+		return nil
+	}
+	if c.max >= x.size {
+		return fmt.Errorf("loadvec: index covers %d levels, max load is %d", x.size, c.max)
+	}
+	for i, v := range c.loads {
+		p := int(x.pos[i])
+		if v >= len(x.binsAt) || p >= len(x.binsAt[v]) || x.binsAt[v][p] != int32(i) {
+			return fmt.Errorf("loadvec: bin %d (load %d) not at binsAt[%d][%d]", i, v, v, p)
+		}
+	}
+	var total int
+	var wTotal int64
+	var cum int64
+	for v := 0; v < x.size; v++ {
+		cn := len(x.binsAt[v])
+		total += cn
+		if cn != c.CountAt(v) {
+			return fmt.Errorf("loadvec: binsAt[%d] has %d bins, histogram says %d", v, cn, c.CountAt(v))
+		}
+		if got := x.cnt.prefix(v) - x.cnt.prefix(v-1); got != int64(cn) {
+			return fmt.Errorf("loadvec: cnt tree at %d = %d, want %d", v, got, cn)
+		}
+		if got := x.bal.prefix(v) - x.bal.prefix(v-1); got != int64(v)*int64(cn) {
+			return fmt.Errorf("loadvec: bal tree at %d = %d, want %d", v, got, int64(v)*int64(cn))
+		}
+		want := int64(v) * int64(cn) * cum // s[v] = v·count[v]·C(v−1)
+		if x.sval[v] != want {
+			return fmt.Errorf("loadvec: sval[%d] = %d, want %d", v, x.sval[v], want)
+		}
+		if got := x.mvw.prefix(v) - x.mvw.prefix(v-1); got != want {
+			return fmt.Errorf("loadvec: mvw tree at %d = %d, want %d", v, got, want)
+		}
+		cum += int64(cn)
+		wTotal += want
+	}
+	if total != c.n {
+		return fmt.Errorf("loadvec: index holds %d bins, want %d", total, c.n)
+	}
+	if x.wTotal != wTotal {
+		return fmt.Errorf("loadvec: cached W = %d, fresh %d", x.wTotal, wTotal)
+	}
+	return nil
+}

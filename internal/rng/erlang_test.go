@@ -1,0 +1,95 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestErlangMoments(t *testing.T) {
+	r := New(17)
+	cases := []struct {
+		k    int64
+		rate float64
+	}{
+		{1, 1}, {2, 0.5}, {16, 3}, {17, 1}, {100, 2}, {10000, 0.1},
+	}
+	const draws = 50000
+	for _, c := range cases {
+		var sum, sumSq float64
+		for i := 0; i < draws; i++ {
+			x := r.Erlang(c.k, c.rate)
+			if x <= 0 {
+				t.Fatalf("Erlang(%d,%g) = %g not positive", c.k, c.rate, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(c.k) / c.rate
+		wantVar := float64(c.k) / (c.rate * c.rate)
+		// Standard error of the sample mean is sqrt(var/draws); allow 5σ.
+		if tol := 5 * math.Sqrt(wantVar/draws); math.Abs(mean-wantMean) > tol {
+			t.Errorf("Erlang(%d,%g): mean %g, want %g ± %g", c.k, c.rate, mean, wantMean, tol)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Erlang(%d,%g): variance %g, want %g", c.k, c.rate, variance, wantVar)
+		}
+	}
+}
+
+// TestErlangPathsAgree cross-validates the Marsaglia–Tsang path against
+// ground truth (an explicit sum of exponentials) with a two-sample KS test
+// at a shape just past the cutoff.
+func TestErlangPathsAgree(t *testing.T) {
+	const k, rate = erlangSumCutoff + 4, 2.0
+	const draws = 20000
+	r := New(41)
+	mt := make([]float64, draws)
+	direct := make([]float64, draws)
+	for i := range mt {
+		mt[i] = r.Erlang(k, rate) // k > cutoff: Marsaglia–Tsang path
+		s := 0.0
+		for j := 0; j < k; j++ {
+			s += r.Exp(rate)
+		}
+		direct[i] = s
+	}
+	sort.Float64s(mt)
+	sort.Float64s(direct)
+	var d float64
+	i, j := 0, 0
+	for i < draws && j < draws {
+		if mt[i] <= direct[j] {
+			i++
+		} else {
+			j++
+		}
+		if diff := math.Abs(float64(i)-float64(j)) / draws; diff > d {
+			d = diff
+		}
+	}
+	// Critical value at alpha = 0.001 for two equal samples:
+	// sqrt(-ln(alpha/2)/2) * sqrt(2/draws).
+	crit := math.Sqrt(-math.Log(0.0005)/2) * math.Sqrt(2.0/draws)
+	if d > crit {
+		t.Errorf("KS D = %g > %g: MT path disagrees with sum of exponentials", d, crit)
+	}
+}
+
+func TestErlangPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero shape":    func() { New(1).Erlang(0, 1) },
+		"negative rate": func() { New(1).Erlang(3, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

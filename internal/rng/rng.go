@@ -11,7 +11,10 @@
 // distributions (exponential, geometric, binomial, ...) are in dist.go.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a xoshiro256** generator. The zero value is not usable; create
 // instances with New or Split.
@@ -75,29 +78,27 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
+	return int(r.Int63n(int64(n)))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0. The full
+// 64-bit range of the level-index move weights (up to m·n) goes through
+// here; Intn shares the same draw, so both consume identical random bits.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
 	un := uint64(n)
 	x := r.Uint64()
-	hi, lo := mul64(x, un)
+	hi, lo := bits.Mul64(x, un)
 	if lo < un {
 		thresh := (-un) % un
 		for lo < thresh {
 			x = r.Uint64()
-			hi, lo = mul64(x, un)
+			hi, lo = bits.Mul64(x, un)
 		}
 	}
-	return int(hi)
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	w1 := t&mask32 + a0*b1
-	hi = a1*b1 + t>>32 + w1>>32
-	lo = a * b
-	return
+	return int64(hi)
 }
 
 // Int63 returns a uniform non-negative int64 (63 random bits).

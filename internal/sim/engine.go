@@ -20,16 +20,19 @@ type Mover interface {
 	Name() string
 }
 
-// Engine drives one continuous-time run: it repeatedly advances time by an
-// Exp(m) gap, activates a uniformly random ball, and applies the Mover's
-// decision. Adversaries (Lemma 2) may inject extra moves through
-// ForceMove from a PostMove hook.
+// Engine drives one continuous-time run. In the direct mode it repeatedly
+// advances time by an Exp(m) gap, activates a uniformly random ball, and
+// applies the Mover's decision; in jump mode (NewJumpEngine) it advances
+// one whole block of null activations plus the move that ends it per
+// Step. Adversaries (Lemma 2) may inject extra moves through ForceMove
+// from a PostMove hook.
 type Engine struct {
 	cfg     *loadvec.Config
-	sampler ActivationSampler
-	gaps    GapSampler // non-nil when the sampler owns event timing
+	sampler ActivationSampler // nil in jump mode
+	gaps    GapSampler        // non-nil when the sampler owns event timing
 	mover   Mover
 	r       *rng.RNG
+	jump    bool // rejection-free jump-chain mode (see jump.go)
 
 	time        float64
 	activations int64
@@ -85,11 +88,15 @@ func (e *Engine) ForcedMoves() int64 { return e.forced }
 // RNG returns the engine's random stream (adversaries may share it).
 func (e *Engine) RNG() *rng.RNG { return e.r }
 
-// Step performs one activation and returns whether the ball moved.
+// Step performs one activation (direct mode) or one jump-chain block
+// (jump mode) and returns whether a ball moved.
 // Timing: samplers that own event timing (GapSampler, i.e. the literal
 // per-ball-clock EventHeap) supply the inter-activation gap; otherwise
 // the engine draws Exp(m) — the superposition of m rate-1 clocks.
 func (e *Engine) Step() bool {
+	if e.jump {
+		return e.stepJump()
+	}
 	if e.gaps != nil {
 		e.time += e.gaps.NextGap(e.r)
 	} else {
@@ -118,7 +125,9 @@ func (e *Engine) Step() bool {
 // rebuild.
 func (e *Engine) AddBall(bin int) {
 	e.cfg.AddBall(bin)
-	e.sampler.AddBall(bin)
+	if e.sampler != nil {
+		e.sampler.AddBall(bin)
+	}
 }
 
 // RemoveBall removes one ball from bin (a dynamic departure), keeping the
@@ -126,7 +135,19 @@ func (e *Engine) AddBall(bin int) {
 // resident of bin may be the one to leave. It panics if the bin is empty.
 func (e *Engine) RemoveBall(bin int) {
 	e.cfg.RemoveBall(bin)
-	e.sampler.RemoveBall(bin)
+	if e.sampler != nil {
+		e.sampler.RemoveBall(bin)
+	}
+}
+
+// RandomBin returns the bin of a uniformly random ball without advancing
+// the run — the draw session churn uses to pick a departure target. Both
+// modes consume one draw from the engine's RNG stream.
+func (e *Engine) RandomBin() int {
+	if e.jump {
+		return e.cfg.SampleBallBin(e.r)
+	}
+	return e.sampler.Sample(e.r)
 }
 
 // ForceMove applies a move outside the protocol (adversarial/destructive),
@@ -134,7 +155,9 @@ func (e *Engine) RemoveBall(bin int) {
 // acts instantaneously after protocol moves.
 func (e *Engine) ForceMove(src, dst int) {
 	e.cfg.Move(src, dst)
-	e.sampler.MoveBall(src, dst)
+	if e.sampler != nil {
+		e.sampler.MoveBall(src, dst)
+	}
 	e.forced++
 }
 
@@ -195,7 +218,9 @@ type TracePoint struct {
 }
 
 // RunTraced behaves like Run but also samples the trajectory every
-// `every` activations (and at the initial and final states).
+// `every` activations (and at the initial and final states). Jump-mode
+// steps advance the activation counter by whole blocks, so there a point
+// is recorded at the first step on or past each `every` boundary.
 func (e *Engine) RunTraced(stop StopCond, maxActivations, every int64) (Result, []TracePoint) {
 	if every <= 0 {
 		every = 1
@@ -215,15 +240,22 @@ func (e *Engine) RunTraced(stop StopCond, maxActivations, every int64) (Result, 
 		})
 	}
 	record()
+	nextRecord := e.activations + every
 	stopped := stop(e)
 	for !stopped && e.activations < maxActivations {
 		e.Step()
-		if e.activations%every == 0 {
+		if e.activations >= nextRecord {
 			record()
+			nextRecord = (e.activations/every + 1) * every
 		}
 		stopped = stop(e)
 	}
-	record()
+	// Close the trace with the final state unless the last boundary point
+	// already captured it (the activation counter only moves in Step, so
+	// equal counters mean an identical state — no duplicate point).
+	if trace[len(trace)-1].Activations != e.activations {
+		record()
+	}
 	return Result{
 		Time:        e.time,
 		Activations: e.activations,

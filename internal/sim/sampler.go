@@ -17,6 +17,12 @@
 //     the same law on load vectors.
 //
 // The two implementations cross-validate each other (experiment A1).
+//
+// Both samplers serve the *direct* engine, which materializes every
+// activation. NewJumpEngine (jump.go) is the rejection-free alternative:
+// it needs no activation sampler at all because it simulates only the
+// embedded jump chain of productive moves, with null-activation blocks
+// skipped geometrically (experiment A4 cross-validates the two modes).
 package sim
 
 import (
@@ -222,6 +228,16 @@ func (f *Fenwick) RemoveBall(bin int) {
 // Name implements ActivationSampler.
 func (f *Fenwick) Name() string { return "fenwick" }
 
-// Load returns the load of bin i according to the tree (O(log n); for
-// tests).
-func (f *Fenwick) Load(i int) int { return f.prefix(i+1) - f.prefix(i) }
+// Load returns the load of bin i according to the tree with a single
+// O(log n) traversal: starting from tree[i+1] (the range sum ending at
+// i+1), subtract the sibling ranges down to the common ancestor of i+1
+// and i instead of computing two full prefix sums.
+func (f *Fenwick) Load(i int) int {
+	pos := i + 1
+	s := f.tree[pos]
+	stop := pos - pos&(-pos)
+	for pos--; pos != stop; pos -= pos & (-pos) {
+		s -= f.tree[pos]
+	}
+	return s
+}

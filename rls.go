@@ -95,6 +95,34 @@ func TorusTopology(side int) Topology { return Topology{graphs.Torus2D{Side: sid
 // bin count must be 2^dim.
 func HypercubeTopology(dim int) Topology { return Topology{graphs.Hypercube{Dim: dim}} }
 
+// EngineMode selects how a run is simulated.
+type EngineMode int
+
+const (
+	// DirectEngine simulates every ball activation: an Exp(m) gap, a
+	// uniform ball, a uniform destination, and the protocol's accept test.
+	// Near balance almost every activation is a rejected null move, so a
+	// run costs O(activations). This is the default and supports every
+	// option (strict rule, topologies, speeds, samplers).
+	DirectEngine EngineMode = iota
+	// JumpEngine simulates only the embedded jump chain of productive
+	// moves: activations advance geometrically, time by the matching
+	// Gamma(k, m) gap, and the move is sampled exactly from the live move
+	// weight (see internal/sim.NewJumpEngine). The balancing-time law is
+	// identical to DirectEngine (experiment A4 KS-tests it); cost drops
+	// from O(activations) to O(moves·log Δ). Plain RLS on the complete
+	// topology only; per-activation traces coarsen to per-move blocks.
+	JumpEngine
+)
+
+// String returns "direct" or "jump".
+func (m EngineMode) String() string {
+	if m == JumpEngine {
+		return "jump"
+	}
+	return "direct"
+}
+
 // Option configures a Runner.
 type Option func(*Runner)
 
@@ -126,6 +154,11 @@ func WithSpeeds(speeds []float64) Option {
 // instead of the explicit ball table (identical law; better for m ≫ n).
 func WithFenwickEngine() Option { return func(r *Runner) { r.fenwick = true } }
 
+// WithEngineMode selects the execution mode (default DirectEngine). The
+// JumpEngine is rejection-free: same law, O(moves) instead of
+// O(activations); it requires plain RLS on the complete topology.
+func WithEngineMode(m EngineMode) Option { return func(r *Runner) { r.mode = m } }
+
 // WithActivationBudget caps the number of activations (default 10^9).
 func WithActivationBudget(k int64) Option { return func(r *Runner) { r.budget = k } }
 
@@ -139,6 +172,7 @@ type Runner struct {
 	topology  Topology
 	speeds    []float64
 	fenwick   bool
+	mode      EngineMode
 	budget    int64
 }
 
@@ -236,6 +270,18 @@ func (r *Runner) mover() (sim.Mover, error) {
 
 // engine builds the configured engine and tracker.
 func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
+	if r.mode == JumpEngine {
+		if r.strict || r.topology.g != nil || r.speeds != nil {
+			return nil, nil, fmt.Errorf("rls: the jump engine supports only plain RLS on the complete topology")
+		}
+		if r.fenwick {
+			return nil, nil, fmt.Errorf("rls: the jump engine has no activation sampler; drop WithFenwickEngine")
+		}
+		stream := rng.New(r.seed)
+		v := r.placement.gen.Generate(r.n, r.m, stream)
+		e := sim.NewJumpEngine(v, stream)
+		return e, core.NewPhaseTracker(e), nil
+	}
 	mover, err := r.mover()
 	if err != nil {
 		return nil, nil, err

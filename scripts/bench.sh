@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh runs the perf-trajectory benchmark suite and writes the results
+# as JSON (default BENCH_PR2.json) so successive PRs can track the hot
+# paths: whole-run balancing cost (BenchmarkBalanceToPerfection), the
+# direct-vs-jump end-game comparison (BenchmarkEndGame), and live churn
+# (BenchmarkSessionChurn).
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5x scripts/bench.sh   # override go test -benchtime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR2.json}
+benchtime=${BENCHTIME:-3x}
+pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkSessionChurn)$'
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 30m . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+BEGIN {
+  print "["
+  printf "  {\"suite\": \"rls-perf\", \"benchtime\": \"%s\"}", benchtime
+}
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  printf ",\n  {\"name\": \"%s\", \"iters\": %s", name, $2
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    gsub(/\//, "_per_", unit)
+    gsub(/[^A-Za-z0-9_]/, "_", unit)
+    printf ", \"%s\": %s", unit, $i
+  }
+  printf "}"
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -18,30 +18,51 @@ import (
 // selling point in §1.
 //
 // The session is churn-native: a single engine persists for the whole
-// session lifetime, and every join/leave is absorbed incrementally —
-// O(1) per event — by updating the live load configuration and the
-// activation sampler in place. The engine's Exp(m) activation gap reads
-// the live ball count, so the activation rate tracks the population with
-// no rebuild, snapshot, or state transfer.
+// session lifetime, and every join/leave is absorbed incrementally by
+// updating the live load configuration and the sampling state in place.
+// The engine's activation rate reads the live ball count, so it tracks
+// the population with no rebuild, snapshot, or state transfer.
+//
+// Sessions run in either engine mode: the default DirectEngine simulates
+// every activation (O(1) per churn event, O(1) per activation); the
+// JumpEngine simulates only productive moves (O(log Δ) per churn event
+// and per move), which makes long converged stretches — where the direct
+// engine burns almost all activations on rejected null moves — nearly
+// free.
 type Session struct {
 	engine *sim.Engine
-	list   *sim.BallList // the engine's sampler, for O(1) uniform-ball picks
 	stream *rng.RNG
+	mode   EngineMode
+}
+
+// SessionOption configures a Session.
+type SessionOption func(*Session)
+
+// WithSessionEngineMode selects the session's execution mode (default
+// DirectEngine). See EngineMode for the trade-off.
+func WithSessionEngineMode(m EngineMode) SessionOption {
+	return func(s *Session) { s.mode = m }
 }
 
 // NewSession creates a session with n empty bins.
-func NewSession(n int, seed uint64) *Session {
+func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 	if n < 1 {
 		panic("rls: NewSession needs at least one bin")
 	}
-	stream := rng.New(seed)
-	list := sim.NewBallList()
-	return &Session{
-		engine: sim.NewEngine(make(loadvec.Vector, n), core.RLS{}, list, stream),
-		list:   list,
-		stream: stream,
+	s := &Session{stream: rng.New(seed)}
+	for _, o := range opts {
+		o(s)
 	}
+	if s.mode == JumpEngine {
+		s.engine = sim.NewJumpEngine(make(loadvec.Vector, n), s.stream)
+	} else {
+		s.engine = sim.NewEngine(make(loadvec.Vector, n), core.RLS{}, sim.NewBallList(), s.stream)
+	}
+	return s
 }
+
+// Mode returns the session's engine mode.
+func (s *Session) Mode() EngineMode { return s.mode }
 
 // N returns the number of bins.
 func (s *Session) N() int { return s.engine.Cfg().N() }
@@ -69,7 +90,8 @@ func (s *Session) Activations() int64 { return s.engine.Activations() }
 // Moves returns the total protocol moves across the session.
 func (s *Session) Moves() int64 { return s.engine.Moves() }
 
-// AddBall inserts one ball into the given bin (a user joining), in O(1).
+// AddBall inserts one ball into the given bin (a user joining): O(1) in
+// direct mode, O(log Δ) in jump mode.
 func (s *Session) AddBall(bin int) error {
 	if bin < 0 || bin >= s.N() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
@@ -86,8 +108,8 @@ func (s *Session) AddBallRandom() int {
 	return bin
 }
 
-// RemoveBall removes one ball from the given bin (a user leaving), in
-// O(1).
+// RemoveBall removes one ball from the given bin (a user leaving): O(1)
+// in direct mode, O(log Δ) in jump mode.
 func (s *Session) RemoveBall(bin int) error {
 	if bin < 0 || bin >= s.N() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
@@ -100,13 +122,13 @@ func (s *Session) RemoveBall(bin int) error {
 }
 
 // RemoveRandomBall removes a uniformly random ball and returns the bin it
-// left, in O(1) (balls being identical, removing any resident of a
+// left (balls being identical, removing any resident of a
 // load-proportionally sampled bin removes a uniform ball).
 func (s *Session) RemoveRandomBall() (int, error) {
 	if s.M() == 0 {
 		return 0, fmt.Errorf("rls: no balls to remove")
 	}
-	bin := s.list.RandomBin(s.stream)
+	bin := s.engine.RandomBin()
 	s.engine.RemoveBall(bin)
 	return bin, nil
 }
