@@ -1,6 +1,6 @@
 # Convenience entry points; CI runs the same commands.
 
-.PHONY: test vet bench
+.PHONY: test vet lint race bench
 
 test:
 	go build ./... && go test ./...
@@ -8,7 +8,18 @@ test:
 vet:
 	go vet ./...
 
-# bench regenerates BENCH_PR2.json, the perf trajectory tracked per PR
-# (balancing runs, direct-vs-jump end-game, session churn).
+# lint mirrors the CI lint job: formatting gates the build, then vet.
+lint:
+	@diff=$$(gofmt -l .); if [ -n "$$diff" ]; then \
+		echo "gofmt needed on:"; echo "$$diff"; exit 1; fi
+	go vet ./...
+
+# race mirrors the CI race job; the sharded engine makes it load-bearing.
+race:
+	go test -race ./...
+
+# bench regenerates BENCH_PR3.json, the perf trajectory tracked per PR
+# (balancing runs, direct-vs-jump end-game, session churn, direct-vs-
+# sharded dense regime).
 bench:
 	./scripts/bench.sh

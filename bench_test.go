@@ -64,6 +64,7 @@ func BenchmarkExpA1(b *testing.B)   { benchExperiment(b, "A1") }
 func BenchmarkExpA2(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkExpA3(b *testing.B)   { benchExperiment(b, "A3") }
 func BenchmarkExpA4(b *testing.B)   { benchExperiment(b, "A4") }
+func BenchmarkExpA5(b *testing.B)   { benchExperiment(b, "A5") }
 func BenchmarkExpO1(b *testing.B)   { benchExperiment(b, "O1") }
 
 // BenchmarkBalanceToPerfection measures whole-run cost of the public API
@@ -122,6 +123,50 @@ func BenchmarkEndGame(b *testing.B) {
 				b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
 			})
 		}
+	}
+}
+
+// BenchmarkShardedDense measures the dense regime (every bin busy, a
+// large share of activations productive) the sharded engine targets:
+// n = m = 1<<16 from a one-choice start over a fixed horizon of protocol
+// time, direct vs sharded with P = 4 workers. The sharded/direct
+// wall-clock ratio is the headline speedup tracked in BENCH_PR3.json —
+// it needs ≥ P hardware threads to materialize (the JSON records
+// GOMAXPROCS alongside the numbers). The coarse explicit epoch amortizes
+// the barrier; the A5 experiment covers the law-fidelity end with fine
+// epochs.
+func BenchmarkShardedDense(b *testing.B) {
+	const n, m = 1 << 16, 1 << 16
+	const horizon = 8.0
+	configs := []struct {
+		name string
+		opts []Option
+	}{
+		{"direct", nil},
+		{"sharded-P4", []Option{WithEngineMode(ShardedEngine), WithShards(4), WithShardEpoch(0.125)}},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			var totalActs, totalMoves int64
+			for i := 0; i < b.N; i++ {
+				opts := append([]Option{
+					WithSeed(uint64(i) + 1),
+					WithPlacement(Random()),
+					WithTarget(UntilTime(horizon)),
+				}, c.opts...)
+				res, err := New(n, m, opts...).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Reached {
+					b.Fatal("did not reach the time horizon")
+				}
+				totalActs += res.Activations
+				totalMoves += res.Moves
+			}
+			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+			b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+		})
 	}
 }
 
@@ -225,7 +270,7 @@ func TestBenchmarkIDsMatchRegistry(t *testing.T) {
 	have := []string{
 		"F1", "F2", "F3", "T1", "T2", "LB1", "LB2", "DML",
 		"P1", "P2", "P3", "L8", "L9", "L16", "CMP1", "CMP2", "CMP3",
-		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "O1",
+		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "O1",
 	}
 	if len(have) != len(want) {
 		t.Fatalf("bench list has %d, registry %d", len(have), len(want))

@@ -9,6 +9,7 @@
 //	rlsim -n 16 -m 160 -speeds bimodal
 //	rlsim -n 32 -m 320 -strict -target disc=2
 //	rlsim -n 4096 -m 4096 -engine jump
+//	rlsim -n 65536 -m 65536 -placement random -engine sharded -shards 4 -target time=8
 package main
 
 import (
@@ -33,7 +34,8 @@ func main() {
 		topology  = flag.String("topology", "complete", "topology: complete|ring|torus|hypercube")
 		speeds    = flag.String("speeds", "", "bin speed profile: uniform|bimodal|powerlaw (empty = unit speeds)")
 		strict    = flag.Bool("strict", false, "use the strict (>) tie rule of [12]/[11]")
-		engine    = flag.String("engine", "direct", "engine mode: direct (per-activation) | jump (rejection-free)")
+		engine    = flag.String("engine", "direct", "engine mode: direct (per-activation) | jump (rejection-free) | sharded (parallel)")
+		shards    = flag.Int("shards", 0, "sharded engine worker count P (0 = default); only with -engine sharded")
 		trace     = flag.Int64("trace", 0, "print a trace point every K activations (0 = off)")
 		plot      = flag.Bool("plot", true, "render initial/final configurations as ASCII bars")
 		csv       = flag.Bool("csv", false, "emit the trace as CSV instead of a table (implies -trace)")
@@ -42,21 +44,29 @@ func main() {
 	if *csv && *trace <= 0 {
 		*trace = 100
 	}
-	if err := run(*n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *strict, *trace, *plot && !*csv, *csv); err != nil {
+	if err := run(*n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *shards, *strict, *trace, *plot && !*csv, *csv); err != nil {
 		fmt.Fprintf(os.Stderr, "rlsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, m int, seed uint64, placement, target, topology, speeds, engine string, strict bool, trace int64, plot, csv bool) error {
+func run(n, m int, seed uint64, placement, target, topology, speeds, engine string, shards int, strict bool, trace int64, plot, csv bool) error {
 	opts := []rls.Option{rls.WithSeed(seed)}
 
 	switch engine {
 	case "direct":
 	case "jump":
 		opts = append(opts, rls.WithEngineMode(rls.JumpEngine))
+	case "sharded":
+		opts = append(opts, rls.WithEngineMode(rls.ShardedEngine))
+		if shards != 0 {
+			opts = append(opts, rls.WithShards(shards))
+		}
 	default:
 		return fmt.Errorf("unknown engine mode %q", engine)
+	}
+	if shards != 0 && engine != "sharded" {
+		return fmt.Errorf("-shards requires -engine sharded")
 	}
 
 	switch placement {

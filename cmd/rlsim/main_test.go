@@ -4,7 +4,7 @@ import "testing"
 
 func TestRunAllPlacements(t *testing.T) {
 	for _, p := range []string{"all-in-one", "random", "two-choice", "spread", "delta-pair"} {
-		if err := run(8, 32, 1, p, "perfect", "complete", "", "direct", false, 0, false, false); err != nil {
+		if err := run(8, 32, 1, p, "perfect", "complete", "", "direct", 0, false, 0, false, false); err != nil {
 			t.Errorf("placement %s: %v", p, err)
 		}
 	}
@@ -13,7 +13,7 @@ func TestRunAllPlacements(t *testing.T) {
 func TestRunTargets(t *testing.T) {
 	cases := []string{"perfect", "disc=2", "time=0.5"}
 	for _, target := range cases {
-		if err := run(8, 32, 1, "all-in-one", target, "complete", "", "direct", false, 0, false, false); err != nil {
+		if err := run(8, 32, 1, "all-in-one", target, "complete", "", "direct", 0, false, 0, false, false); err != nil {
 			t.Errorf("target %s: %v", target, err)
 		}
 	}
@@ -21,7 +21,7 @@ func TestRunTargets(t *testing.T) {
 
 func TestRunTopologies(t *testing.T) {
 	for _, topo := range []string{"complete", "ring", "torus", "hypercube"} {
-		if err := run(16, 64, 1, "all-in-one", "perfect", topo, "", "direct", false, 0, false, false); err != nil {
+		if err := run(16, 64, 1, "all-in-one", "perfect", topo, "", "direct", 0, false, 0, false, false); err != nil {
 			t.Errorf("topology %s: %v", topo, err)
 		}
 	}
@@ -29,20 +29,20 @@ func TestRunTopologies(t *testing.T) {
 
 func TestRunSpeedProfiles(t *testing.T) {
 	for _, sp := range []string{"", "uniform", "bimodal", "powerlaw"} {
-		if err := run(8, 64, 1, "all-in-one", "perfect", "complete", sp, "direct", false, 0, false, false); err != nil {
+		if err := run(8, 64, 1, "all-in-one", "perfect", "complete", sp, "direct", 0, false, 0, false, false); err != nil {
 			t.Errorf("speeds %s: %v", sp, err)
 		}
 	}
 }
 
 func TestRunStrictAndTrace(t *testing.T) {
-	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "direct", true, 10, true, false); err != nil {
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "direct", 0, true, 10, true, false); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunCSVTrace(t *testing.T) {
-	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "direct", false, 10, false, true); err != nil {
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "direct", 0, false, 10, false, true); err != nil {
 		t.Error(err)
 	}
 }
@@ -61,17 +61,47 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"jump+topology", "random", "perfect", "ring", "", "jump"},
 	}
 	for _, c := range cases {
-		if err := run(8, 32, 1, c.placement, c.target, c.topology, c.speeds, c.engine, false, 0, false, false); err == nil {
+		if err := run(8, 32, 1, c.placement, c.target, c.topology, c.speeds, c.engine, 0, false, 0, false, false); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
 }
 
 func TestRunJumpEngine(t *testing.T) {
-	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", false, 0, false, false); err != nil {
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", 0, false, 0, false, false); err != nil {
 		t.Error(err)
 	}
-	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", false, 10, false, true); err != nil {
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", 0, false, 10, false, true); err != nil {
 		t.Errorf("jump trace: %v", err)
+	}
+}
+
+func TestRunShardedEngine(t *testing.T) {
+	for _, p := range []int{0, 1, 2} {
+		if err := run(8, 64, 1, "random", "perfect", "complete", "", "sharded", p, false, 0, false, false); err != nil {
+			t.Errorf("shards=%d: %v", p, err)
+		}
+	}
+	if err := run(8, 64, 1, "random", "time=1", "complete", "", "sharded", 2, false, 20, false, true); err != nil {
+		t.Errorf("sharded trace: %v", err)
+	}
+}
+
+func TestRunShardedRejectsBadCombos(t *testing.T) {
+	cases := map[string]func() error{
+		"sharded+topology": func() error {
+			return run(16, 64, 1, "random", "perfect", "ring", "", "sharded", 2, false, 0, false, false)
+		},
+		"sharded+strict": func() error {
+			return run(16, 64, 1, "random", "perfect", "complete", "", "sharded", 2, true, 0, false, false)
+		},
+		"shards without sharded engine": func() error {
+			return run(16, 64, 1, "random", "perfect", "complete", "", "direct", 2, false, 0, false, false)
+		},
+	}
+	for name, fn := range cases {
+		if err := fn(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }

@@ -21,7 +21,7 @@
 //
 // # Engine modes
 //
-// Runs execute in one of two modes, selected with WithEngineMode (and
+// Runs execute in one of three modes, selected with WithEngineMode (and
 // WithSessionEngineMode for sessions):
 //
 //   - DirectEngine (default) simulates every activation: an Exp(m) time
@@ -36,8 +36,19 @@
 //     each step skips a Geometric(W/(m·n)) block of null activations,
 //     advances time by the matching Gamma(k, m) gap, and samples the
 //     productive (src, dst) pair exactly. Cost is O(log Δ) per move.
+//   - ShardedEngine partitions the bins into WithShards contiguous
+//     ranges, each simulated by its own goroutine worker with a private
+//     configuration, sampler, and deterministically split RNG stream —
+//     the m per-ball Poisson clocks superpose into independent per-shard
+//     streams, so shards advance the same continuous-time process
+//     concurrently. Local moves apply immediately; cross-shard moves
+//     queue through bounded channels, pre-filtered against a stale load
+//     snapshot, and drain at epoch barriers in deterministic parallel
+//     phases that re-check the RLS rule against live loads. A per-barrier
+//     reconciliation folds the shard histograms into the global min/max/
+//     discrepancy view serving the stop conditions.
 //
-// The two modes induce the identical law on every quantity observed at
+// Direct and jump induce the identical law on every quantity observed at
 // moves — balancing times, phase-crossing times, move counts, final
 // configurations, and the activation counter (experiment A4 KS-tests the
 // balancing-time distributions; run `go test -bench ExpA4`). They are not
@@ -45,14 +56,36 @@
 // The only observable difference is granularity between moves: direct
 // runs can trace or stop at any activation, jump runs only at moves, so
 // per-activation traces coarsen to per-move blocks and time- or
-// activation-targeted stops may overshoot by one block. Choose JumpEngine
-// for balancing-time experiments, end-game-heavy workloads (m ≈ n), and
-// long-lived sessions near balance; choose DirectEngine for strict tie
-// rules, graph topologies, heterogeneous speeds, or exact per-activation
-// trajectories.
+// activation-targeted stops may overshoot by one block.
+//
+// The sharded engine's law matches the sequential process up to its
+// epoch granularity: cross-shard moves land at barriers rather than
+// mid-epoch, so stop conditions, traces, and the phase times coarsen to
+// epochs (WithShardEpoch tunes the fidelity/throughput trade-off), and
+// experiment A5 KS-validates the balancing-time law against DirectEngine
+// at fine epochs. With one shard there is no deferral at all: P = 1 runs
+// the direct engine's exact loop on the root stream and its fixed-seed
+// output is byte-identical — the sharded equivalence tests pin this.
+//
+// Choosing a mode by regime:
+//
+//   - dense (m ≫ n, many productive moves): ShardedEngine — per-move
+//     work dominates and parallelizes across P workers (≥ P hardware
+//     threads needed; BenchmarkShardedDense tracks the speedup).
+//   - sparse/end-game (m ≈ n, mostly null activations): JumpEngine —
+//     nothing to parallelize, everything to skip.
+//   - strict tie rule, graph topologies, heterogeneous speeds, exact
+//     per-activation trajectories: DirectEngine, the only mode that
+//     supports every option.
+//
+// Shards × engine-mode composition: WithShards composes only with
+// ShardedEngine today (direct and jump are single-threaded); a sharded
+// jump engine — per-shard level indices skipping local null blocks — is
+// the natural composition of the two accelerations and is tracked as an
+// open item in ROADMAP.md.
 //
 // The experiment suite reproducing every figure and claim of the paper
 // lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and
 // the benchmarks in bench_test.go; see DESIGN.md and EXPERIMENTS.md.
-// `make bench` regenerates BENCH_PR2.json, the tracked perf trajectory.
+// `make bench` regenerates BENCH_PR3.json, the tracked perf trajectory.
 package rls

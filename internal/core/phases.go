@@ -26,6 +26,11 @@ type PhaseTimes struct {
 	Perfect float64
 }
 
+// LogBalancedTarget returns the Phase 1 discrepancy target 96·ln n (the
+// explicit constant of Lemma 10). Both the direct-engine PhaseTracker and
+// the sharded engine's phase observer read the threshold from here.
+func LogBalancedTarget(n int) float64 { return 96 * math.Log(float64(n)) }
+
 // PhaseTracker watches an engine run and fills in PhaseTimes. It also
 // verifies, move by move, the §3 monotonicity observations (discrepancy
 // never increases, the minimum load never decreases, the maximum never
@@ -62,7 +67,7 @@ func NewPhaseTracker(e *sim.Engine) *PhaseTracker {
 			OneBalanced:       -1,
 			Perfect:           -1,
 		},
-		logTarget:     96 * math.Log(float64(n)),
+		logTarget:     LogBalancedTarget(n),
 		halfAvg:       e.Cfg().Avg() / 2,
 		n:             n,
 		prevDisc:      e.Cfg().Disc(),

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"F1", "F2", "F3", "T1", "T2", "LB1", "LB2", "DML",
 		"P1", "P2", "P3", "L8", "L9", "L16", "CMP1", "CMP2", "CMP3",
-		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "O1",
+		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "O1",
 	}
 	for _, id := range want {
 		e, ok := Get(id)

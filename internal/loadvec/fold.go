@@ -1,0 +1,98 @@
+package loadvec
+
+// Shard-local state and global reconciliation for the sharded engine
+// (internal/sim/sharded.go): each shard owns a contiguous bin range as its
+// own Config, and the global stop-condition view — min/max load, ball
+// count, discrepancy — is *folded* from the per-shard histograms instead
+// of being recomputed from a concatenated load vector. Folding is O(P)
+// for P shards because every Config already tracks its own min/max/m
+// incrementally.
+
+// Partition splits a load vector into parts contiguous, near-equal bin
+// ranges (range i is [i·n/parts, (i+1)·n/parts)), each returned as an
+// independent copy. It panics unless 1 ≤ parts ≤ len(v).
+func Partition(v Vector, parts int) []Vector {
+	if parts < 1 || parts > len(v) {
+		panic("loadvec: Partition with parts outside [1, len(v)]")
+	}
+	out := make([]Vector, parts)
+	for i := 0; i < parts; i++ {
+		lo, hi := PartitionRange(len(v), parts, i)
+		out[i] = v[lo:hi].Clone()
+	}
+	return out
+}
+
+// PartitionRange returns the half-open global bin range [lo, hi) owned by
+// part i of a parts-way contiguous partition of n bins.
+func PartitionRange(n, parts, i int) (lo, hi int) {
+	return i * n / parts, (i + 1) * n / parts
+}
+
+// PartitionOwner returns the index of the part owning global bin `bin`
+// under the same partition as PartitionRange, in O(1): the candidate
+// bin·parts/n is exact up to the ±1 rounding of the range boundaries.
+func PartitionOwner(n, parts, bin int) int {
+	i := bin * parts / n
+	for lo, _ := PartitionRange(n, parts, i); bin < lo; lo, _ = PartitionRange(n, parts, i) {
+		i--
+	}
+	for _, hi := PartitionRange(n, parts, i); bin >= hi; _, hi = PartitionRange(n, parts, i) {
+		i++
+	}
+	return i
+}
+
+// FoldedStats is the global view of a sharded configuration: the exact
+// bin count, ball count, and extreme loads of the union of the per-shard
+// configurations, from which the global discrepancy and the balance
+// stop conditions follow. The zero value describes an empty system.
+type FoldedStats struct {
+	N, M     int
+	Min, Max int
+}
+
+// FoldStats folds per-shard Configs into the global stats in O(P). It
+// panics on an empty shard list.
+func FoldStats(parts ...*Config) FoldedStats {
+	if len(parts) == 0 {
+		panic("loadvec: FoldStats with no shards")
+	}
+	f := FoldedStats{Min: parts[0].Min(), Max: parts[0].Max()}
+	for _, c := range parts {
+		f.N += c.N()
+		f.M += c.M()
+		if c.Min() < f.Min {
+			f.Min = c.Min()
+		}
+		if c.Max() > f.Max {
+			f.Max = c.Max()
+		}
+	}
+	return f
+}
+
+// Avg returns the global average load ∅ = M/N.
+func (f FoldedStats) Avg() float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return float64(f.M) / float64(f.N)
+}
+
+// Disc returns the global discrepancy max(Max−∅, ∅−Min).
+func (f FoldedStats) Disc() float64 {
+	avg := f.Avg()
+	hi := float64(f.Max) - avg
+	lo := avg - float64(f.Min)
+	if hi > lo {
+		return hi
+	}
+	return lo
+}
+
+// IsPerfect reports global perfect balance (disc < 1 ⟺ Max−Min ≤ 1).
+func (f FoldedStats) IsPerfect() bool { return f.Max-f.Min <= 1 }
+
+// IsBalanced reports global x-balancedness.
+func (f FoldedStats) IsBalanced(x float64) bool { return f.Disc() <= x }

@@ -1,0 +1,89 @@
+package loadvec
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPartitionRangesTile(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for p := 1; p <= n; p++ {
+			prev := 0
+			for i := 0; i < p; i++ {
+				lo, hi := PartitionRange(n, p, i)
+				if lo != prev {
+					t.Fatalf("n=%d p=%d part %d starts at %d, want %d", n, p, i, lo, prev)
+				}
+				if hi <= lo {
+					t.Fatalf("n=%d p=%d part %d is empty [%d,%d)", n, p, i, lo, hi)
+				}
+				for b := lo; b < hi; b++ {
+					if got := PartitionOwner(n, p, b); got != i {
+						t.Fatalf("n=%d p=%d owner(%d) = %d, want %d", n, p, b, got, i)
+					}
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d p=%d ranges end at %d", n, p, prev)
+			}
+		}
+	}
+}
+
+func TestPartitionCopiesAndConserves(t *testing.T) {
+	r := rng.New(5)
+	v := OneChoice().Generate(13, 200, r)
+	parts := Partition(v, 4)
+	total := 0
+	bins := 0
+	for _, part := range parts {
+		bins += len(part)
+		total += part.Balls()
+	}
+	if bins != 13 || total != 200 {
+		t.Fatalf("partition covers %d bins / %d balls", bins, total)
+	}
+	parts[0][0]++ // copies: mutating a part must not touch the source
+	if v.Balls() != 200 {
+		t.Fatal("Partition aliases the source vector")
+	}
+}
+
+func TestFoldStatsMatchesGlobalConfig(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(30)
+		m := r.Intn(200)
+		v := make(Vector, n)
+		for i := 0; i < m; i++ {
+			v[r.Intn(n)]++
+		}
+		p := 1 + r.Intn(n)
+		parts := Partition(v, p)
+		cfgs := make([]*Config, p)
+		for i, part := range parts {
+			cfgs[i] = NewConfig(part)
+		}
+		f := FoldStats(cfgs...)
+		g := NewConfig(v)
+		if f.N != g.N() || f.M != g.M() || f.Min != g.Min() || f.Max != g.Max() {
+			t.Fatalf("fold (%+v) != global Config %v", f, g)
+		}
+		if f.Disc() != g.Disc() || f.IsPerfect() != g.IsPerfect() {
+			t.Fatalf("fold disc/perfect (%g,%v) != global (%g,%v)",
+				f.Disc(), f.IsPerfect(), g.Disc(), g.IsPerfect())
+		}
+		if f.IsBalanced(2) != g.IsBalanced(2) {
+			t.Fatal("fold balancedness disagrees")
+		}
+	}
+}
+
+func TestFoldStatsEmptySystem(t *testing.T) {
+	f := FoldStats(NewConfig(make(Vector, 4)))
+	if f.Disc() != 0 || !f.IsPerfect() || f.Avg() != 0 {
+		t.Fatalf("empty fold: %+v", f)
+	}
+}

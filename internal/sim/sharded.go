@@ -1,0 +1,639 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// Sharded is the goroutine-parallel engine for plain RLS on the complete
+// topology, built for the dense regime (m ≫ n, many productive moves)
+// where the direct engine's per-activation work dominates and the jump
+// engine has nothing to skip.
+//
+// The n bins are partitioned into P contiguous ranges. Each shard owns a
+// range as its own loadvec.Config plus BallList sampler and draws from its
+// own deterministic RNG stream (split from the root seed), so a fixed
+// (seed, P) pair reproduces the run exactly regardless of scheduling. The
+// m rate-1 ball clocks superpose into independent per-shard Poisson
+// streams of rate m_s, so shards simulate disjoint slices of the same
+// continuous-time process with no shared state:
+//
+//   - epochs: time is cut into epochs of length dt. Within an epoch every
+//     shard advances its own clock by Exp(m_s) gaps and runs its
+//     activations locally — a move whose sampled destination lands in the
+//     same shard is decided and applied immediately, exactly as in the
+//     direct engine;
+//   - cross-shard moves: a destination owned by another shard cannot be
+//     read mid-epoch without a race, so the activation becomes a
+//     *proposal* routed through the shard's bounded channel queue,
+//     pre-filtered against a stale (last-reconciliation) snapshot of the
+//     global loads. Queues are drained at the epoch barrier in three
+//     deterministic parallel phases: sources re-validate against their
+//     live loads and detach the ball, destinations re-check the RLS rule
+//     against their live loads and land or refuse it, and refused balls
+//     are restored at their source — every applied move satisfies
+//     ℓ_src ≥ ℓ_dst + 1 at application time, so the §3 monotonicity of
+//     min/max/disc is preserved;
+//   - reconciliation: at each barrier the per-shard histograms are folded
+//     into a global loadvec.FoldedStats snapshot (min/max/m in O(P)) that
+//     serves the stop conditions — MaxLoad, Discrepancy and the rls.Target
+//     kinds — and the stale load snapshot used by the proposal filter is
+//     refreshed.
+//
+// Granularity: with P > 1 stop conditions, traces, and the activation
+// budget are checked at epoch barriers only, so runs may overshoot a
+// target by up to one epoch — the sharded analogue of the jump engine's
+// per-move blocks. With P = 1 there is no concurrency to protect: the
+// single shard executes the direct engine's exact per-activation loop on
+// the root RNG stream (same draws, same stop granularity), making the
+// fixed-seed output byte-identical to NewEngine's — the equivalence tests
+// pin this.
+//
+// Churn (AddBall/RemoveBall) hashes the bin to its owning shard in O(1)
+// and updates that shard's Config and sampler in place, so the Session
+// churn path stays O(1) per event as in the other engine modes.
+type Sharded struct {
+	n, p   int
+	epoch0 float64 // configured epoch length (0 = auto-sized per Run)
+	dt     float64 // epoch length for the current Run
+
+	shards []*shard
+	cfgs   []*loadvec.Config // shard Configs, fixed at construction (refold scratch)
+	root   *rng.RNG
+	stale  []int // global loads as of the last reconciliation (filter only)
+
+	// Folded global view (refreshed at each barrier and churn event).
+	stats loadvec.FoldedStats
+	time  float64
+	acts  int64
+	moves int64
+
+	crossProposed int64
+	crossApplied  int64
+
+	// PostCheck, if non-nil, runs at every point where the global state is
+	// refreshed and stop conditions are evaluated: each epoch barrier, or
+	// each activation when P = 1. Phase tracking hooks in here.
+	PostCheck func(*Sharded)
+}
+
+// shard is one worker's private slice of the system: the bins [lo, hi),
+// their Config and sampler, a deterministic RNG stream, a local clock,
+// and the bounded outbox for cross-shard move proposals.
+type shard struct {
+	id     int
+	lo, hi int
+	cfg    *loadvec.Config
+	smp    *BallList
+	r      *rng.RNG
+
+	t        float64
+	acts     int64
+	moves    int64 // intra-shard protocol moves
+	proposed int64
+
+	out chan proposal
+
+	// Barrier scratch, indexed by peer shard id. inbox[s] is written by
+	// shard s in phase A and read by this shard in phase B; reject[s] is
+	// written by this shard in phase B and read by shard s in phase C —
+	// each slot has exactly one owner per phase, with the barrier
+	// WaitGroups ordering the handover.
+	inbox  [][]handoff
+	reject [][]int32
+}
+
+// proposal is a cross-shard move candidate: global source and destination
+// bins, queued by the source shard during an epoch.
+type proposal struct{ src, dst int32 }
+
+// handoff is a proposal whose source side has been applied: the ball left
+// srcGlobal (whose load was srcLoad at detachment) and asks to land at the
+// destination shard's local bin dstLocal.
+type handoff struct {
+	srcGlobal, dstLocal, srcLoad int32
+}
+
+// ShardedStop is a stop condition over the sharded engine's folded global
+// state, evaluated at epoch barriers (every activation when P = 1).
+type ShardedStop func(*Sharded) bool
+
+// ShardedUntilPerfect stops at global perfect balance (disc < 1).
+func ShardedUntilPerfect() ShardedStop {
+	return func(s *Sharded) bool { return s.IsPerfect() }
+}
+
+// ShardedUntilBalanced stops once the global configuration is x-balanced.
+func ShardedUntilBalanced(x float64) ShardedStop {
+	return func(s *Sharded) bool { return s.Disc() <= x }
+}
+
+// ShardedUntilTime stops once continuous time reaches t.
+func ShardedUntilTime(t float64) ShardedStop {
+	return func(s *Sharded) bool { return s.Time() >= t }
+}
+
+// DefaultShards is the shard count used when a caller passes 0: a small
+// constant rather than GOMAXPROCS so that fixed-seed runs reproduce across
+// machines.
+const DefaultShards = 4
+
+// shardedActsPerEpoch sizes auto epochs: dt is chosen so each shard
+// expects about this many activations between barriers — fine enough to
+// track the process closely, coarse enough to amortize the barrier.
+const shardedActsPerEpoch = 256
+
+// NewSharded builds a sharded engine over a copy of the initial
+// configuration with the given shard count (0 means DefaultShards) and
+// epoch length (0 means auto: sized per Run so each shard expects
+// shardedActsPerEpoch activations per epoch). The root RNG seeds the
+// per-shard streams via deterministic splitting; with shards == 1 the
+// root stream is used directly so the run is byte-identical to the direct
+// engine's. It panics on a nil RNG or a shard count above the bin count.
+func NewSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG) *Sharded {
+	if root == nil {
+		panic("sim: NewSharded with nil RNG")
+	}
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	if shards > len(initial) {
+		shards = len(initial)
+	}
+	if shards < 1 || epoch < 0 {
+		panic("sim: NewSharded with invalid shards or epoch")
+	}
+	n := len(initial)
+	s := &Sharded{
+		n:      n,
+		p:      shards,
+		epoch0: epoch,
+		root:   root,
+		stale:  append([]int(nil), initial...),
+	}
+	parts := loadvec.Partition(initial, shards)
+	s.cfgs = make([]*loadvec.Config, shards)
+	s.shards = make([]*shard, shards)
+	for i, part := range parts {
+		lo, hi := loadvec.PartitionRange(n, shards, i)
+		r := root
+		if shards > 1 {
+			r = root.Split()
+		}
+		smp := NewBallList()
+		smp.Reset(part)
+		sh := &shard{
+			id: i, lo: lo, hi: hi,
+			cfg:    loadvec.NewConfig(part),
+			smp:    smp,
+			r:      r,
+			inbox:  make([][]handoff, shards),
+			reject: make([][]int32, shards),
+		}
+		s.cfgs[i] = sh.cfg
+		s.shards[i] = sh
+	}
+	s.stats = loadvec.FoldStats(s.cfgs...)
+	return s
+}
+
+// N returns the number of bins.
+func (s *Sharded) N() int { return s.n }
+
+// Shards returns the shard count P.
+func (s *Sharded) Shards() int { return s.p }
+
+// Stats returns the folded global view: live with P = 1, as of the last
+// barrier otherwise.
+func (s *Sharded) Stats() loadvec.FoldedStats {
+	if s.p == 1 {
+		c := s.shards[0].cfg
+		return loadvec.FoldedStats{N: s.n, M: c.M(), Min: c.Min(), Max: c.Max()}
+	}
+	return s.stats
+}
+
+// M returns the global ball count.
+func (s *Sharded) M() int { return s.Stats().M }
+
+// Min returns the global minimum load.
+func (s *Sharded) Min() int { return s.Stats().Min }
+
+// Max returns the global maximum load.
+func (s *Sharded) Max() int { return s.Stats().Max }
+
+// Disc returns the global discrepancy.
+func (s *Sharded) Disc() float64 { return s.Stats().Disc() }
+
+// IsPerfect reports global perfect balance (disc < 1).
+func (s *Sharded) IsPerfect() bool { return s.Stats().IsPerfect() }
+
+// Time returns the elapsed continuous time (the furthest shard clock).
+func (s *Sharded) Time() float64 {
+	if s.p == 1 {
+		return s.shards[0].t
+	}
+	return s.time
+}
+
+// Activations returns the total ball activations across all shards.
+func (s *Sharded) Activations() int64 {
+	if s.p == 1 {
+		return s.shards[0].acts
+	}
+	return s.acts
+}
+
+// Moves returns the total protocol moves (intra-shard plus applied
+// cross-shard).
+func (s *Sharded) Moves() int64 {
+	if s.p == 1 {
+		return s.shards[0].moves
+	}
+	return s.moves
+}
+
+// CrossProposed returns how many cross-shard move proposals were queued.
+func (s *Sharded) CrossProposed() int64 {
+	if s.p == 1 {
+		return 0
+	}
+	return s.crossProposed
+}
+
+// CrossApplied returns how many cross-shard moves were applied at
+// barriers.
+func (s *Sharded) CrossApplied() int64 { return s.crossApplied }
+
+// ShardRange returns the global bin range [lo, hi) owned by shard i.
+func (s *Sharded) ShardRange(i int) (lo, hi int) {
+	return loadvec.PartitionRange(s.n, s.p, i)
+}
+
+// owner returns the shard owning a global bin in O(1).
+func (s *Sharded) owner(bin int) int { return loadvec.PartitionOwner(s.n, s.p, bin) }
+
+// Load returns the live load of a global bin in O(1) via the owning
+// shard (always current: shard state only changes inside Run).
+func (s *Sharded) Load(bin int) int {
+	sh := s.shards[s.owner(bin)]
+	return sh.cfg.Load(bin - sh.lo)
+}
+
+// Snapshot returns a copy of the global load vector (shard ranges
+// concatenated in bin order).
+func (s *Sharded) Snapshot() loadvec.Vector {
+	v := make(loadvec.Vector, 0, s.n)
+	for _, sh := range s.shards {
+		v = append(v, sh.cfg.Loads()...)
+	}
+	return v
+}
+
+// GlobalConfig folds the shard states into a fresh global Config — the
+// full-histogram reconciliation. Stop conditions only need the O(P)
+// FoldedStats, so this O(n) fold is for callers that want every tracked
+// statistic (tests, reporting).
+func (s *Sharded) GlobalConfig() *loadvec.Config {
+	return loadvec.NewConfig(s.Snapshot())
+}
+
+// AddBall inserts one ball into the given global bin (dynamic arrival),
+// updating the owning shard's Config and sampler in place — O(1) plus the
+// O(P) stats refold, never a rebuild.
+func (s *Sharded) AddBall(bin int) {
+	sh := s.shards[s.owner(bin)]
+	sh.cfg.AddBall(bin - sh.lo)
+	sh.smp.AddBall(bin - sh.lo)
+	s.stale[bin]++
+	s.refold()
+}
+
+// RemoveBall removes one ball from the given global bin (dynamic
+// departure). It panics if the bin is empty.
+func (s *Sharded) RemoveBall(bin int) {
+	sh := s.shards[s.owner(bin)]
+	sh.cfg.RemoveBall(bin - sh.lo)
+	sh.smp.RemoveBall(bin - sh.lo)
+	if s.stale[bin] > 0 {
+		s.stale[bin]--
+	}
+	s.refold()
+}
+
+// RandomBin returns the bin of a uniformly random ball without advancing
+// the run: shards are sampled proportionally to their ball mass, then a
+// uniform resident ball within the shard. Draws come from the root
+// stream; with P = 1 the single draw matches the direct engine's.
+func (s *Sharded) RandomBin() int {
+	if s.p == 1 {
+		return s.shards[0].smp.Sample(s.root)
+	}
+	k := s.root.Int63n(int64(s.Stats().M))
+	for _, sh := range s.shards {
+		if m := int64(sh.cfg.M()); k < m {
+			return sh.lo + sh.smp.Sample(s.root)
+		} else {
+			k -= m
+		}
+	}
+	panic("sim: RandomBin fold out of range")
+}
+
+// refold refreshes the folded global stats from the shard Configs (O(P),
+// allocation-free: the Config pointers are fixed at construction).
+func (s *Sharded) refold() {
+	s.stats = loadvec.FoldStats(s.cfgs...)
+}
+
+// Run advances the engine until stop returns true or maxActivations is
+// exhausted (pass maxActivations <= 0 for DefaultActivationBudget). With
+// P > 1 both are checked at epoch barriers, so the run may overshoot by
+// up to one epoch.
+func (s *Sharded) Run(stop ShardedStop, maxActivations int64) Result {
+	res, _ := s.run(stop, maxActivations, 0, false)
+	return res
+}
+
+// RunTraced behaves like Run but also samples the trajectory every
+// `every` activations, at barrier granularity for P > 1 (a point is
+// recorded at the first barrier on or past each boundary) and at
+// activation granularity for P = 1 — mirroring Engine.RunTraced.
+func (s *Sharded) RunTraced(stop ShardedStop, maxActivations, every int64) (Result, []TracePoint) {
+	if every <= 0 {
+		every = 1
+	}
+	return s.run(stop, maxActivations, every, true)
+}
+
+func (s *Sharded) run(stop ShardedStop, maxActivations, every int64, traced bool) (Result, []TracePoint) {
+	if maxActivations <= 0 {
+		maxActivations = DefaultActivationBudget
+	}
+	s.sizeEpoch()
+
+	var trace []TracePoint
+	var nextRecord int64
+	record := func() {
+		st := s.Stats()
+		trace = append(trace, TracePoint{
+			Time:        s.Time(),
+			Activations: s.Activations(),
+			Disc:        st.Disc(),
+			MinLoad:     st.Min,
+			MaxLoad:     st.Max,
+		})
+	}
+	check := func() bool {
+		if traced && s.Activations() >= nextRecord {
+			record()
+			nextRecord = (s.Activations()/every + 1) * every
+		}
+		if s.PostCheck != nil {
+			s.PostCheck(s)
+		}
+		return stop(s)
+	}
+	if traced {
+		record()
+		nextRecord = s.Activations() + every
+	}
+
+	stopped := stop(s)
+	for !stopped && s.Activations() < maxActivations {
+		if s.p == 1 {
+			stopped = s.runEpochSingle(maxActivations, check)
+		} else {
+			s.runEpochParallel()
+			stopped = check()
+		}
+	}
+	if traced && trace[len(trace)-1].Activations != s.Activations() {
+		record()
+	}
+	return Result{
+		Time:        s.Time(),
+		Activations: s.Activations(),
+		Moves:       s.Moves(),
+		Stopped:     stopped,
+		Final:       s.Snapshot(),
+	}, trace
+}
+
+// sizeEpoch resolves the epoch length for this Run (auto mode reads the
+// live ball count).
+func (s *Sharded) sizeEpoch() {
+	s.dt = s.epoch0
+	if s.dt <= 0 {
+		m := s.Stats().M
+		if m < 1 {
+			m = 1
+		}
+		s.dt = float64(shardedActsPerEpoch) * float64(s.p) / float64(m)
+	}
+}
+
+// sizeQueues grows each shard's bounded proposal queue to 4x the epoch's
+// expected activation count, re-read from the shard's *live* ball count
+// every epoch: cross-shard moves and churn migrate ball mass between
+// shards, and a queue sized from a stale count would cap a now-heavy
+// shard's epoch budget far below its activation rate, silently stalling
+// its clock behind the others. Queues are empty between barriers, so
+// replacing the channel is safe.
+func (s *Sharded) sizeQueues() {
+	for _, sh := range s.shards {
+		want := 4*int(s.dt*float64(sh.cfg.M())) + 64
+		if sh.out == nil || cap(sh.out) < want {
+			sh.out = make(chan proposal, want)
+		}
+	}
+}
+
+// runEpochSingle is the P = 1 degenerate path: the direct engine's exact
+// per-activation loop (same RNG draws from the root stream, stop checked
+// after every activation) bounded by one epoch of simulated time.
+func (s *Sharded) runEpochSingle(maxActivations int64, check func() bool) bool {
+	sh := s.shards[0]
+	m := sh.cfg.M()
+	if m == 0 {
+		sh.t += s.dt
+		return check()
+	}
+	fm := float64(m)
+	end := sh.t + s.dt
+	for sh.t < end && sh.acts < maxActivations {
+		sh.t += sh.r.Exp(fm)
+		sh.acts++
+		src := sh.smp.Sample(sh.r)
+		dst := sh.r.Intn(s.n)
+		if dst != src && sh.cfg.Load(src) >= sh.cfg.Load(dst)+1 {
+			sh.cfg.Move(src, dst)
+			sh.smp.MoveBall(src, dst)
+			sh.moves++
+		}
+		if check() {
+			return true
+		}
+	}
+	return false
+}
+
+// runEpochParallel runs one epoch concurrently across the shards and
+// drains the cross-shard queues at the barrier.
+func (s *Sharded) runEpochParallel() {
+	s.sizeQueues()
+	end := s.time + s.dt
+	s.parallel(func(sh *shard) { sh.runEpoch(end, s.n, s.stale) })
+	s.barrier()
+}
+
+// runEpoch advances one shard to the epoch horizon: local moves apply
+// immediately; cross-shard candidates that pass the stale-load filter are
+// queued for the barrier. The only other exit is a full queue — checked
+// before each activation, so a send can never block — which just barriers
+// the shard early at its current clock: the exponential gaps are
+// memoryless, so an early barrier refines the shard's epoch granularity
+// without changing the process law, and the shard resumes from its own
+// clock next epoch (also how a lagging shard catches up to the horizon).
+func (sh *shard) runEpoch(end float64, n int, stale []int) {
+	m := sh.cfg.M()
+	if m == 0 {
+		if sh.t < end {
+			sh.t = end
+		}
+		return
+	}
+	fm := float64(m)
+	budget := cap(sh.out)
+	for sent := 0; sh.t < end && sent < budget; {
+		sh.t += sh.r.Exp(fm)
+		sh.acts++
+		src := sh.smp.Sample(sh.r)
+		dst := sh.r.Intn(n)
+		if dst >= sh.lo && dst < sh.hi {
+			l := dst - sh.lo
+			if l != src && sh.cfg.Load(src) >= sh.cfg.Load(l)+1 {
+				sh.cfg.Move(src, l)
+				sh.smp.MoveBall(src, l)
+				sh.moves++
+			}
+		} else if sh.cfg.Load(src) >= stale[dst]+1 {
+			sh.out <- proposal{int32(sh.lo + src), int32(dst)}
+			sh.proposed++
+			sent++
+		}
+	}
+}
+
+// barrier drains the proposal queues in three deterministic parallel
+// phases (each phase runs one goroutine per shard over disjoint state,
+// with WaitGroup edges ordering the handovers), then reconciles the
+// folded global stats and the stale snapshot.
+func (s *Sharded) barrier() {
+	// Phase A — source side: drain the shard's own queue in send order,
+	// re-validate against the live source load (it may have changed since
+	// the proposal) and the stale destination filter, detach the ball and
+	// hand it to the destination shard.
+	s.parallel(func(sh *shard) {
+		for {
+			select {
+			case p := <-sh.out:
+				src := int(p.src) - sh.lo
+				ld := sh.cfg.Load(src)
+				if ld >= 1 && ld >= s.stale[p.dst]+1 {
+					sh.cfg.RemoveBall(src)
+					sh.smp.RemoveBall(src)
+					dst := s.shards[s.owner(int(p.dst))]
+					dst.inbox[sh.id] = append(dst.inbox[sh.id],
+						handoff{p.src, p.dst - int32(dst.lo), int32(ld)})
+				}
+			default:
+				return
+			}
+		}
+	})
+	// Phase B — destination side: walk inboxes in source-shard order and
+	// re-check the RLS rule against the live destination load, so every
+	// landed move satisfies ℓ_src ≥ ℓ_dst + 1 at application time and the
+	// §3 monotonicity of min/max/disc survives sharding.
+	applied := make([]int64, s.p)
+	s.parallel(func(sh *shard) {
+		for from := 0; from < s.p; from++ {
+			for _, h := range sh.inbox[from] {
+				dst := int(h.dstLocal)
+				if int(h.srcLoad) >= sh.cfg.Load(dst)+1 {
+					sh.cfg.AddBall(dst)
+					sh.smp.AddBall(dst)
+					applied[sh.id]++
+				} else {
+					sh.reject[from] = append(sh.reject[from], h.srcGlobal)
+				}
+			}
+			sh.inbox[from] = sh.inbox[from][:0]
+		}
+	})
+	// Phase C — restore refused balls at their source (no observable
+	// state ever saw them gone: all three phases are inside one barrier),
+	// then refresh this shard's slice of the stale snapshot.
+	s.parallel(func(sh *shard) {
+		for _, peer := range s.shards {
+			for _, g := range peer.reject[sh.id] {
+				l := int(g) - sh.lo
+				sh.cfg.AddBall(l)
+				sh.smp.AddBall(l)
+			}
+			peer.reject[sh.id] = peer.reject[sh.id][:0]
+		}
+		copy(s.stale[sh.lo:sh.hi], sh.cfg.Loads())
+	})
+
+	// Reconcile: fold counters and histogram extremes into the global view.
+	var acts, moves, proposed int64
+	maxT := s.time
+	for _, sh := range s.shards {
+		acts += sh.acts
+		moves += sh.moves
+		proposed += sh.proposed
+		if sh.t > maxT {
+			maxT = sh.t
+		}
+	}
+	for _, a := range applied {
+		s.crossApplied += a
+	}
+	s.acts = acts
+	s.moves = moves + s.crossApplied
+	s.crossProposed = proposed
+	s.time = maxT
+	s.refold()
+}
+
+// parallel runs fn once per shard, concurrently for P > 1.
+func (s *Sharded) parallel(fn func(sh *shard)) {
+	if s.p == 1 {
+		fn(s.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(s.p)
+	for _, sh := range s.shards {
+		go func(sh *shard) {
+			defer wg.Done()
+			fn(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// Validate cross-checks every shard's tracked statistics and the folded
+// global view; tests call it after randomized runs and churn.
+func (s *Sharded) Validate() error {
+	for _, sh := range s.shards {
+		if err := sh.cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -49,9 +49,13 @@ const (
 	targetTime
 )
 
-// Target is a stop condition for a run.
+// Target is a stop condition for a run. The kind plus its numeric
+// argument fully describe the condition, so every engine mode — including
+// the sharded engine, whose stop conditions read the folded global view
+// rather than a *sim.Engine — can reconstruct it.
 type Target struct {
 	kind targetKind
+	arg  float64 // threshold for targetBalanced, horizon for targetTime
 	stop func(e *sim.Engine) bool
 	desc string
 }
@@ -67,12 +71,12 @@ func UntilPerfect() Target {
 
 // UntilBalanced stops at disc ≤ x.
 func UntilBalanced(x float64) Target {
-	return Target{kind: targetBalanced, stop: sim.UntilBalanced(x), desc: fmt.Sprintf("disc<=%g", x)}
+	return Target{kind: targetBalanced, arg: x, stop: sim.UntilBalanced(x), desc: fmt.Sprintf("disc<=%g", x)}
 }
 
 // UntilTime stops at continuous time t.
 func UntilTime(t float64) Target {
-	return Target{kind: targetTime, stop: sim.UntilTime(t), desc: fmt.Sprintf("t=%g", t)}
+	return Target{kind: targetTime, arg: t, stop: sim.UntilTime(t), desc: fmt.Sprintf("t=%g", t)}
 }
 
 // Topology restricts destination sampling to a graph neighborhood
@@ -113,12 +117,27 @@ const (
 	// from O(activations) to O(moves·log Δ). Plain RLS on the complete
 	// topology only; per-activation traces coarsen to per-move blocks.
 	JumpEngine
+	// ShardedEngine partitions the bins into WithShards contiguous ranges
+	// simulated by concurrent goroutine workers, each with its own
+	// configuration, sampler, and deterministic RNG stream; cross-shard
+	// moves drain through bounded queues at epoch barriers and the global
+	// stop conditions read a per-barrier reconciliation of the shard
+	// histograms (see internal/sim.NewSharded). It targets the dense
+	// regime (m ≫ n, many productive moves) the other modes leave
+	// single-threaded; experiment A5 KS-validates the balancing-time law
+	// against DirectEngine. Plain RLS on the complete topology only; stop
+	// conditions and traces coarsen to epoch granularity for P > 1, while
+	// P = 1 reproduces the direct engine byte-for-byte.
+	ShardedEngine
 )
 
-// String returns "direct" or "jump".
+// String returns "direct", "jump", or "sharded".
 func (m EngineMode) String() string {
-	if m == JumpEngine {
+	switch m {
+	case JumpEngine:
 		return "jump"
+	case ShardedEngine:
+		return "sharded"
 	}
 	return "direct"
 }
@@ -159,21 +178,37 @@ func WithFenwickEngine() Option { return func(r *Runner) { r.fenwick = true } }
 // O(activations); it requires plain RLS on the complete topology.
 func WithEngineMode(m EngineMode) Option { return func(r *Runner) { r.mode = m } }
 
+// WithShards sets the sharded engine's worker count P (default
+// sim.DefaultShards; clamped to the bin count). The shard count is part
+// of the random-stream layout, so fixed-seed runs reproduce only for the
+// same P.
+func WithShards(p int) Option { return func(r *Runner) { r.shards = p } }
+
+// WithShardEpoch sets the sharded engine's epoch length in continuous
+// time (default auto: each shard expects a few hundred activations per
+// epoch). Smaller epochs track the sequential process more closely —
+// cross-shard moves and stop checks land at barriers — while larger ones
+// amortize the barrier; the A5 experiment runs fine epochs, the dense
+// benchmark coarse ones.
+func WithShardEpoch(dt float64) Option { return func(r *Runner) { r.shardEpoch = dt } }
+
 // WithActivationBudget caps the number of activations (default 10^9).
 func WithActivationBudget(k int64) Option { return func(r *Runner) { r.budget = k } }
 
 // Runner executes RLS runs for one (n, m, options) setting.
 type Runner struct {
-	n, m      int
-	seed      uint64
-	placement Placement
-	target    Target
-	strict    bool
-	topology  Topology
-	speeds    []float64
-	fenwick   bool
-	mode      EngineMode
-	budget    int64
+	n, m       int
+	seed       uint64
+	placement  Placement
+	target     Target
+	strict     bool
+	topology   Topology
+	speeds     []float64
+	fenwick    bool
+	mode       EngineMode
+	shards     int
+	shardEpoch float64
+	budget     int64
 }
 
 // New creates a Runner for n bins and m balls. It panics unless n ≥ 1 and
@@ -268,6 +303,76 @@ func (r *Runner) mover() (sim.Mover, error) {
 	return core.RLS{}, nil
 }
 
+// shardedEngine builds the sharded engine, rejecting the options it does
+// not support (mirroring the jump engine's restrictions).
+func (r *Runner) shardedEngine() (*sim.Sharded, error) {
+	if r.strict || r.topology.g != nil || r.speeds != nil {
+		return nil, fmt.Errorf("rls: the sharded engine supports only plain RLS on the complete topology")
+	}
+	if r.fenwick {
+		return nil, fmt.Errorf("rls: the sharded engine owns per-shard ball lists; drop WithFenwickEngine")
+	}
+	if r.shards < 0 {
+		return nil, fmt.Errorf("rls: %d shards", r.shards)
+	}
+	if r.shardEpoch < 0 {
+		return nil, fmt.Errorf("rls: negative shard epoch %g", r.shardEpoch)
+	}
+	stream := rng.New(r.seed)
+	v := r.placement.gen.Generate(r.n, r.m, stream)
+	return sim.NewSharded(v, r.shards, r.shardEpoch, stream), nil
+}
+
+// shardedStop reconstructs the configured Target over the sharded
+// engine's folded global view, dispatching on the target kind.
+func (r *Runner) shardedStop() sim.ShardedStop {
+	switch r.target.kind {
+	case targetBalanced:
+		return sim.ShardedUntilBalanced(r.target.arg)
+	case targetTime:
+		return sim.ShardedUntilTime(r.target.arg)
+	default:
+		return sim.ShardedUntilPerfect()
+	}
+}
+
+// attachShardedPhases hooks phase-crossing tracking into the sharded
+// engine's PostCheck: with P > 1 crossings are observed at epoch
+// barriers (the mode's granularity), with P = 1 at every activation —
+// matching the direct engine's move-exact times.
+func (r *Runner) attachShardedPhases(e *sim.Sharded) *PhaseTimes {
+	ph := &PhaseTimes{LogBalanced: -1, OneBalanced: -1, Perfect: -1}
+	logTarget := core.LogBalancedTarget(r.n)
+	observe := func(s *sim.Sharded) {
+		disc := s.Disc()
+		now := s.Time()
+		if ph.LogBalanced < 0 && disc <= logTarget {
+			ph.LogBalanced = now
+		}
+		if ph.OneBalanced < 0 && disc <= 1 {
+			ph.OneBalanced = now
+		}
+		if ph.Perfect < 0 && s.IsPerfect() {
+			ph.Perfect = now
+		}
+	}
+	e.PostCheck = observe
+	observe(e) // the initial configuration may already satisfy targets
+	return ph
+}
+
+func (r *Runner) shardedResult(res sim.Result, ph *PhaseTimes) Result {
+	return Result{
+		Time:        res.Time,
+		Activations: res.Activations,
+		Moves:       res.Moves,
+		Reached:     res.Stopped,
+		Final:       res.Final,
+		Disc:        res.Final.Disc(),
+		Phases:      *ph,
+	}
+}
+
 // engine builds the configured engine and tracker.
 func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
 	if r.mode == JumpEngine {
@@ -312,6 +417,14 @@ func (r *Runner) stop() func(e *sim.Engine) bool {
 // Run executes one run and returns its Result. Configuration errors
 // (mismatched topology or speeds) are returned, not panicked.
 func (r *Runner) Run() (Result, error) {
+	if r.mode == ShardedEngine {
+		e, err := r.shardedEngine()
+		if err != nil {
+			return Result{}, err
+		}
+		ph := r.attachShardedPhases(e)
+		return r.shardedResult(e.Run(r.shardedStop(), r.budget), ph), nil
+	}
 	e, tr, err := r.engine()
 	if err != nil {
 		return Result{}, err
@@ -320,15 +433,30 @@ func (r *Runner) Run() (Result, error) {
 	return r.result(res, tr), nil
 }
 
-// RunTraced is Run plus a trajectory sampled every `every` activations.
+// RunTraced is Run plus a trajectory sampled every `every` activations
+// (epoch-granular for the sharded engine with P > 1).
 func (r *Runner) RunTraced(every int64) (Result, []TracePoint, error) {
+	if r.mode == ShardedEngine {
+		e, err := r.shardedEngine()
+		if err != nil {
+			return Result{}, nil, err
+		}
+		ph := r.attachShardedPhases(e)
+		res, rawTrace := e.RunTraced(r.shardedStop(), r.budget, every)
+		return r.shardedResult(res, ph), toTracePoints(rawTrace), nil
+	}
 	e, tr, err := r.engine()
 	if err != nil {
 		return Result{}, nil, err
 	}
 	res, rawTrace := e.RunTraced(r.stop(), r.budget, every)
-	trace := make([]TracePoint, len(rawTrace))
-	for i, p := range rawTrace {
+	return r.result(res, tr), toTracePoints(rawTrace), nil
+}
+
+// toTracePoints converts an engine trace to the public representation.
+func toTracePoints(raw []sim.TracePoint) []TracePoint {
+	trace := make([]TracePoint, len(raw))
+	for i, p := range raw {
 		trace[i] = TracePoint{
 			Time:        p.Time,
 			Activations: p.Activations,
@@ -337,7 +465,7 @@ func (r *Runner) RunTraced(every int64) (Result, []TracePoint, error) {
 			MaxLoad:     p.MaxLoad,
 		}
 	}
-	return r.result(res, tr), trace, nil
+	return trace
 }
 
 func (r *Runner) result(res sim.Result, tr *core.PhaseTracker) Result {

@@ -1,27 +1,39 @@
 #!/usr/bin/env bash
 # bench.sh runs the perf-trajectory benchmark suite and writes the results
-# as JSON (default BENCH_PR2.json) so successive PRs can track the hot
+# as JSON (default BENCH_PR3.json) so successive PRs can track the hot
 # paths: whole-run balancing cost (BenchmarkBalanceToPerfection), the
-# direct-vs-jump end-game comparison (BenchmarkEndGame), and live churn
-# (BenchmarkSessionChurn).
+# direct-vs-jump end-game comparison (BenchmarkEndGame), live churn
+# (BenchmarkSessionChurn), and the direct-vs-sharded dense regime
+# (BenchmarkShardedDense; the sharded/direct ratio needs as many hardware
+# threads as shards — the JSON header records the core count).
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=5x scripts/bench.sh   # override go test -benchtime
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR2.json}
+out=${1:-BENCH_PR3.json}
 benchtime=${BENCHTIME:-3x}
-pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkSessionChurn)$'
+pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkSessionChurn|BenchmarkShardedDense)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 30m . | tee "$raw"
+# Fail fast and loud: a nonzero `go test -bench` (build error, panic,
+# b.Fatal) must fail this script before any JSON is written, or CI would
+# cat a truncated file as success.
+if ! go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 30m . | tee "$raw"; then
+  echo "bench.sh: go test -bench exited nonzero; not writing $out" >&2
+  exit 1
+fi
+if ! grep -q '^Benchmark' "$raw"; then
+  echo "bench.sh: no benchmark lines in output; not writing $out" >&2
+  exit 1
+fi
 
-awk -v benchtime="$benchtime" '
+awk -v benchtime="$benchtime" -v cores="$(nproc)" '
 BEGIN {
   print "["
-  printf "  {\"suite\": \"rls-perf\", \"benchtime\": \"%s\"}", benchtime
+  printf "  {\"suite\": \"rls-perf\", \"benchtime\": \"%s\", \"cores\": %s}", benchtime, cores
 }
 /^Benchmark/ {
   name = $1

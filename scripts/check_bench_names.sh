@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# check_bench_names.sh guards the tracked perf trajectory: every benchmark
+# name recorded in the newest tracked BENCH_PR*.json must still appear in
+# a fresh smoke run's JSON. A benchmark that is deleted or renamed would
+# otherwise silently fall out of the trajectory while CI stays green.
+#
+# Usage: scripts/check_bench_names.sh <smoke.json> [tracked.json]
+#   (tracked defaults to the highest-numbered BENCH_PR*.json in the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke=${1:?usage: check_bench_names.sh <smoke.json> [tracked.json]}
+tracked=${2:-$(ls BENCH_PR*.json | sort -V | tail -n 1)}
+
+names() {
+  grep -o '"name": *"[^"]*"' "$1" | sed 's/.*: *"//; s/"$//' | sort -u
+}
+
+tracked_names=$(names "$tracked")
+smoke_names=$(names "$smoke")
+if [ -z "$tracked_names" ]; then
+  echo "check_bench_names.sh: no benchmark names in $tracked" >&2
+  exit 1
+fi
+
+missing=$(comm -23 <(printf '%s\n' "$tracked_names") <(printf '%s\n' "$smoke_names"))
+if [ -n "$missing" ]; then
+  echo "check_bench_names.sh: benchmarks tracked in $tracked missing from $smoke:" >&2
+  printf '%s\n' "$missing" >&2
+  exit 1
+fi
+echo "all $(printf '%s\n' "$tracked_names" | wc -l) tracked benchmark names present in $smoke"

@@ -23,25 +23,96 @@ import (
 // The engine's activation rate reads the live ball count, so it tracks
 // the population with no rebuild, snapshot, or state transfer.
 //
-// Sessions run in either engine mode: the default DirectEngine simulates
+// Sessions run in any engine mode: the default DirectEngine simulates
 // every activation (O(1) per churn event, O(1) per activation); the
 // JumpEngine simulates only productive moves (O(log Δ) per churn event
 // and per move), which makes long converged stretches — where the direct
 // engine burns almost all activations on rejected null moves — nearly
-// free.
+// free; the ShardedEngine partitions the bins across goroutine workers
+// for the dense regime, hashing each churn event to the owning shard so
+// joins and leaves stay O(1).
 type Session struct {
-	engine *sim.Engine
+	engine sessionEngine
 	stream *rng.RNG
 	mode   EngineMode
+	shards int
+}
+
+// sessionEngine is the churn-plus-execution surface Session drives; it is
+// implemented by both the sequential engine (direct and jump modes) and
+// the sharded engine.
+type sessionEngine interface {
+	AddBall(bin int)
+	RemoveBall(bin int)
+	RandomBin() int
+	Time() float64
+	Activations() int64
+	Moves() int64
+	Bins() int
+	Balls() int
+	BinLoad(bin int) int
+	SnapshotLoads() loadvec.Vector
+	CurrentDisc() float64
+	RunUntilTime(t float64, maxActivations int64)
+	RunToPerfect(maxActivations int64) bool
+}
+
+// sequentialSession adapts *sim.Engine (direct or jump mode).
+type sequentialSession struct{ e *sim.Engine }
+
+func (a sequentialSession) AddBall(bin int)               { a.e.AddBall(bin) }
+func (a sequentialSession) RemoveBall(bin int)            { a.e.RemoveBall(bin) }
+func (a sequentialSession) RandomBin() int                { return a.e.RandomBin() }
+func (a sequentialSession) Time() float64                 { return a.e.Time() }
+func (a sequentialSession) Activations() int64            { return a.e.Activations() }
+func (a sequentialSession) Moves() int64                  { return a.e.Moves() }
+func (a sequentialSession) Bins() int                     { return a.e.Cfg().N() }
+func (a sequentialSession) Balls() int                    { return a.e.Cfg().M() }
+func (a sequentialSession) BinLoad(bin int) int           { return a.e.Cfg().Load(bin) }
+func (a sequentialSession) SnapshotLoads() loadvec.Vector { return a.e.Cfg().Snapshot() }
+func (a sequentialSession) CurrentDisc() float64          { return a.e.Cfg().Disc() }
+func (a sequentialSession) RunUntilTime(t float64, maxActivations int64) {
+	a.e.Run(sim.UntilTime(t), maxActivations)
+}
+func (a sequentialSession) RunToPerfect(maxActivations int64) bool {
+	return a.e.Run(sim.UntilPerfect(), maxActivations).Stopped
+}
+
+// shardedSession adapts *sim.Sharded.
+type shardedSession struct{ e *sim.Sharded }
+
+func (a shardedSession) AddBall(bin int)               { a.e.AddBall(bin) }
+func (a shardedSession) RemoveBall(bin int)            { a.e.RemoveBall(bin) }
+func (a shardedSession) RandomBin() int                { return a.e.RandomBin() }
+func (a shardedSession) Time() float64                 { return a.e.Time() }
+func (a shardedSession) Activations() int64            { return a.e.Activations() }
+func (a shardedSession) Moves() int64                  { return a.e.Moves() }
+func (a shardedSession) Bins() int                     { return a.e.N() }
+func (a shardedSession) Balls() int                    { return a.e.M() }
+func (a shardedSession) BinLoad(bin int) int           { return a.e.Load(bin) }
+func (a shardedSession) SnapshotLoads() loadvec.Vector { return a.e.Snapshot() }
+func (a shardedSession) CurrentDisc() float64          { return a.e.Disc() }
+func (a shardedSession) RunUntilTime(t float64, maxActivations int64) {
+	a.e.Run(sim.ShardedUntilTime(t), maxActivations)
+}
+func (a shardedSession) RunToPerfect(maxActivations int64) bool {
+	return a.e.Run(sim.ShardedUntilPerfect(), maxActivations).Stopped
 }
 
 // SessionOption configures a Session.
 type SessionOption func(*Session)
 
 // WithSessionEngineMode selects the session's execution mode (default
-// DirectEngine). See EngineMode for the trade-off.
+// DirectEngine). See EngineMode for the trade-offs.
 func WithSessionEngineMode(m EngineMode) SessionOption {
 	return func(s *Session) { s.mode = m }
+}
+
+// WithSessionShards sets the sharded session's worker count (default
+// sim.DefaultShards); it only takes effect with
+// WithSessionEngineMode(ShardedEngine).
+func WithSessionShards(p int) SessionOption {
+	return func(s *Session) { s.shards = p }
 }
 
 // NewSession creates a session with n empty bins.
@@ -53,10 +124,13 @@ func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 	for _, o := range opts {
 		o(s)
 	}
-	if s.mode == JumpEngine {
-		s.engine = sim.NewJumpEngine(make(loadvec.Vector, n), s.stream)
-	} else {
-		s.engine = sim.NewEngine(make(loadvec.Vector, n), core.RLS{}, sim.NewBallList(), s.stream)
+	switch s.mode {
+	case JumpEngine:
+		s.engine = sequentialSession{sim.NewJumpEngine(make(loadvec.Vector, n), s.stream)}
+	case ShardedEngine:
+		s.engine = shardedSession{sim.NewSharded(make(loadvec.Vector, n), s.shards, 0, s.stream)}
+	default:
+		s.engine = sequentialSession{sim.NewEngine(make(loadvec.Vector, n), core.RLS{}, sim.NewBallList(), s.stream)}
 	}
 	return s
 }
@@ -65,20 +139,20 @@ func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 func (s *Session) Mode() EngineMode { return s.mode }
 
 // N returns the number of bins.
-func (s *Session) N() int { return s.engine.Cfg().N() }
+func (s *Session) N() int { return s.engine.Bins() }
 
 // M returns the current number of balls.
-func (s *Session) M() int { return s.engine.Cfg().M() }
+func (s *Session) M() int { return s.engine.Balls() }
 
 // Loads returns a copy of the current load vector.
-func (s *Session) Loads() []int { return s.engine.Cfg().Snapshot() }
+func (s *Session) Loads() []int { return s.engine.SnapshotLoads() }
 
 // Disc returns the current discrepancy.
 func (s *Session) Disc() float64 {
 	if s.M() == 0 {
 		return 0
 	}
-	return s.engine.Cfg().Disc()
+	return s.engine.CurrentDisc()
 }
 
 // Time returns the total elapsed continuous time across the session.
@@ -91,7 +165,7 @@ func (s *Session) Activations() int64 { return s.engine.Activations() }
 func (s *Session) Moves() int64 { return s.engine.Moves() }
 
 // AddBall inserts one ball into the given bin (a user joining): O(1) in
-// direct mode, O(log Δ) in jump mode.
+// direct and sharded modes, O(log Δ) in jump mode.
 func (s *Session) AddBall(bin int) error {
 	if bin < 0 || bin >= s.N() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
@@ -109,12 +183,12 @@ func (s *Session) AddBallRandom() int {
 }
 
 // RemoveBall removes one ball from the given bin (a user leaving): O(1)
-// in direct mode, O(log Δ) in jump mode.
+// in direct and sharded modes, O(log Δ) in jump mode.
 func (s *Session) RemoveBall(bin int) error {
 	if bin < 0 || bin >= s.N() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
 	}
-	if s.engine.Cfg().Load(bin) == 0 {
+	if s.engine.BinLoad(bin) == 0 {
 		return fmt.Errorf("rls: bin %d is empty", bin)
 	}
 	s.engine.RemoveBall(bin)
@@ -142,7 +216,7 @@ func (s *Session) RunFor(d float64) error {
 	// The budget is relative to the running activation counter: the engine
 	// persists for the session lifetime, so an absolute cap would starve
 	// long sessions.
-	s.engine.Run(sim.UntilTime(s.engine.Time()+d), s.engine.Activations()+sim.DefaultActivationBudget)
+	s.engine.RunUntilTime(s.engine.Time()+d, s.engine.Activations()+sim.DefaultActivationBudget)
 	return nil
 }
 
@@ -157,6 +231,5 @@ func (s *Session) RunUntilPerfect(budget int64) (bool, error) {
 	}
 	// Relative to the running counter, like RunFor: an absolute cap would
 	// starve sessions whose persistent engine has run long already.
-	res := s.engine.Run(sim.UntilPerfect(), s.engine.Activations()+budget)
-	return res.Stopped, nil
+	return s.engine.RunToPerfect(s.engine.Activations() + budget), nil
 }
