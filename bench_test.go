@@ -65,6 +65,7 @@ func BenchmarkExpA2(b *testing.B)   { benchExperiment(b, "A2") }
 func BenchmarkExpA3(b *testing.B)   { benchExperiment(b, "A3") }
 func BenchmarkExpA4(b *testing.B)   { benchExperiment(b, "A4") }
 func BenchmarkExpA5(b *testing.B)   { benchExperiment(b, "A5") }
+func BenchmarkExpA6(b *testing.B)   { benchExperiment(b, "A6") }
 func BenchmarkExpO1(b *testing.B)   { benchExperiment(b, "O1") }
 
 // BenchmarkBalanceToPerfection measures whole-run cost of the public API
@@ -160,6 +161,83 @@ func BenchmarkShardedDense(b *testing.B) {
 				}
 				if !res.Reached {
 					b.Fatal("did not reach the time horizon")
+				}
+				totalActs += res.Activations
+				totalMoves += res.Moves
+			}
+			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+			b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+		})
+	}
+}
+
+// BenchmarkShardedJumpEndGame measures whole UntilPerfect runs at n = m
+// from the all-in-one start — BenchmarkEndGame's regime — for the jump
+// engine vs the sharded jump engine at P = 4 with adaptive epochs. Near
+// balance both skip the same null blocks; the sharded variant adds
+// per-barrier reconciliation (O(n) stale refresh + external tables) per
+// ~jumpMovesPerEpoch moves, so the jump/shardedjump ratio prices the
+// parallel scaffolding in the regime where there is least work to share;
+// BENCH_PR4.json records it next to the core count.
+func BenchmarkShardedJumpEndGame(b *testing.B) {
+	const n = 2048
+	for _, c := range []struct {
+		name string
+		opts []Option
+	}{
+		{"jump", []Option{WithEngineMode(JumpEngine)}},
+		{"shardedjump-P4", []Option{WithEngineMode(ShardedJumpEngine), WithShards(4)}},
+	} {
+		b.Run(fmt.Sprintf("n=m=%d/%s", n, c.name), func(b *testing.B) {
+			var totalActs, totalMoves int64
+			for i := 0; i < b.N; i++ {
+				opts := append([]Option{WithSeed(uint64(i) + 1)}, c.opts...)
+				res, err := New(n, n, opts...).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Reached {
+					b.Fatal("did not balance")
+				}
+				totalActs += res.Activations
+				totalMoves += res.Moves
+			}
+			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+			b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+		})
+	}
+}
+
+// BenchmarkShardedJumpDenseToSparse measures a whole dense→sparse run —
+// one-choice start at m = 4n, UntilPerfect — across the engines that
+// claim (part of) it: the sharded engine owns the dense phase but burns
+// per-activation work in the long converged tail, the jump engine owns
+// the tail but is single-threaded, and the sharded jump engine's
+// adaptive epochs are meant to cover both in one run. Shards need ≥ P
+// hardware threads to pay off, as recorded in BENCH_PR4.json.
+func BenchmarkShardedJumpDenseToSparse(b *testing.B) {
+	const n, m = 1024, 4096
+	for _, c := range []struct {
+		name string
+		opts []Option
+	}{
+		{"sharded-P4", []Option{WithEngineMode(ShardedEngine), WithShards(4)}},
+		{"jump", []Option{WithEngineMode(JumpEngine)}},
+		{"shardedjump-P4", []Option{WithEngineMode(ShardedJumpEngine), WithShards(4)}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var totalActs, totalMoves int64
+			for i := 0; i < b.N; i++ {
+				opts := append([]Option{
+					WithSeed(uint64(i) + 1),
+					WithPlacement(Random()),
+				}, c.opts...)
+				res, err := New(n, m, opts...).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Reached {
+					b.Fatal("did not balance")
 				}
 				totalActs += res.Activations
 				totalMoves += res.Moves
@@ -270,7 +348,7 @@ func TestBenchmarkIDsMatchRegistry(t *testing.T) {
 	have := []string{
 		"F1", "F2", "F3", "T1", "T2", "LB1", "LB2", "DML",
 		"P1", "P2", "P3", "L8", "L9", "L16", "CMP1", "CMP2", "CMP3",
-		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "O1",
+		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "A6", "O1",
 	}
 	if len(have) != len(want) {
 		t.Fatalf("bench list has %d, registry %d", len(have), len(want))

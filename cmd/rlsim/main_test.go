@@ -87,6 +87,17 @@ func TestRunShardedEngine(t *testing.T) {
 	}
 }
 
+func TestRunShardedJumpEngine(t *testing.T) {
+	for _, p := range []int{0, 1, 2} {
+		if err := run(8, 64, 1, "random", "perfect", "complete", "", "shardedjump", p, false, 0, false, false); err != nil {
+			t.Errorf("shards=%d: %v", p, err)
+		}
+	}
+	if err := run(8, 64, 1, "random", "time=1", "complete", "", "shardedjump", 2, false, 20, false, true); err != nil {
+		t.Errorf("shardedjump trace: %v", err)
+	}
+}
+
 func TestRunShardedRejectsBadCombos(t *testing.T) {
 	cases := map[string]func() error{
 		"sharded+topology": func() error {
@@ -97,6 +108,9 @@ func TestRunShardedRejectsBadCombos(t *testing.T) {
 		},
 		"shards without sharded engine": func() error {
 			return run(16, 64, 1, "random", "perfect", "complete", "", "direct", 2, false, 0, false, false)
+		},
+		"shardedjump+strict": func() error {
+			return run(16, 64, 1, "random", "perfect", "complete", "", "shardedjump", 2, true, 0, false, false)
 		},
 	}
 	for name, fn := range cases {

@@ -21,7 +21,7 @@
 //
 // # Engine modes
 //
-// Runs execute in one of three modes, selected with WithEngineMode (and
+// Runs execute in one of four modes, selected with WithEngineMode (and
 // WithSessionEngineMode for sessions):
 //
 //   - DirectEngine (default) simulates every activation: an Exp(m) time
@@ -47,6 +47,23 @@
 //     phases that re-check the RLS rule against live loads. A per-barrier
 //     reconciliation folds the shard histograms into the global min/max/
 //     discrepancy view serving the stop conditions.
+//   - ShardedJumpEngine composes the two accelerations: the shard/epoch/
+//     barrier structure of ShardedEngine with per-shard level indices, so
+//     each worker skips its null activations in geometric blocks. A
+//     shard's eventful-activation weight is its local move weight W_s
+//     plus an external weight X_s = Σ_v v·count_s[v]·S_s(v−1), where
+//     S_s(w) counts other shards' bins at stale-snapshot load ≤ w —
+//     exactly the population the cross-shard proposal filter admits — so
+//     each drawn event is either a local move (applied immediately) or a
+//     queued proposal, and everything in between is one Geometric/Erlang
+//     draw. Epochs adapt to the folded move weight (FoldedStats.W):
+//     activation-sized when dense, shrinking with the move rate, floored
+//     at ~one expected event — so one run covers the dense regime
+//     (parallel wins) and the end-game (jump wins) without picking a
+//     mode per regime; WithShardEpoch overrides the policy with a fixed
+//     length. Blocks are truncated exactly at epoch and time horizons
+//     (the remaining nulls are one thinned Poisson draw), so
+//     time-targeted runs stop at exactly the target.
 //
 // Direct and jump induce the identical law on every quantity observed at
 // moves — balancing times, phase-crossing times, move counts, final
@@ -58,14 +75,22 @@
 // per-activation traces coarsen to per-move blocks and time- or
 // activation-targeted stops may overshoot by one block.
 //
-// The sharded engine's law matches the sequential process up to its
+// The sharded engines' law matches the sequential process up to their
 // epoch granularity: cross-shard moves land at barriers rather than
 // mid-epoch, so stop conditions, traces, and the phase times coarsen to
 // epochs (WithShardEpoch tunes the fidelity/throughput trade-off), and
-// experiment A5 KS-validates the balancing-time law against DirectEngine
-// at fine epochs. With one shard there is no deferral at all: P = 1 runs
-// the direct engine's exact loop on the root stream and its fixed-seed
-// output is byte-identical — the sharded equivalence tests pin this.
+// experiments A5 (sharded) and A6 (sharded jump) KS-validate the
+// balancing-time laws against DirectEngine at fine epochs. With one
+// shard there is no deferral at all: P = 1 runs the corresponding
+// sequential engine's exact loop on the root stream and its fixed-seed
+// output is byte-identical — direct for ShardedEngine, jump for
+// ShardedJumpEngine; the equivalence tests pin both.
+//
+// Time targets: DirectEngine stops at the first activation on or past
+// the target (a ~Exp(m) overshoot); the jump modes clamp their final
+// block so UntilTime runs report exactly the target time, with the
+// truncated block's null activations tallied by an exact thinned Poisson
+// draw.
 //
 // Choosing a mode by regime:
 //
@@ -74,18 +99,23 @@
 //     threads needed; BenchmarkShardedDense tracks the speedup).
 //   - sparse/end-game (m ≈ n, mostly null activations): JumpEngine —
 //     nothing to parallelize, everything to skip.
+//   - whole runs crossing regimes (dense start, converged tail), or
+//     long-lived sessions alternating churn bursts with quiet stretches:
+//     ShardedJumpEngine — adaptive epochs slide between the two
+//     (BenchmarkShardedJumpDenseToSparse tracks it; it simulates fewer
+//     activations than ShardedEngine on the same span and its event
+//     work parallelizes across the shards).
 //   - strict tie rule, graph topologies, heterogeneous speeds, exact
 //     per-activation trajectories: DirectEngine, the only mode that
 //     supports every option.
 //
-// Shards × engine-mode composition: WithShards composes only with
-// ShardedEngine today (direct and jump are single-threaded); a sharded
-// jump engine — per-shard level indices skipping local null blocks — is
-// the natural composition of the two accelerations and is tracked as an
-// open item in ROADMAP.md.
+// Shards × engine-mode composition matrix: WithShards composes with
+// ShardedEngine (per-activation shards) and ShardedJumpEngine
+// (rejection-free shards); DirectEngine and JumpEngine are their P = 1
+// sequential bases. Every cell of the matrix is now filled.
 //
 // The experiment suite reproducing every figure and claim of the paper
 // lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and
 // the benchmarks in bench_test.go; see DESIGN.md and EXPERIMENTS.md.
-// `make bench` regenerates BENCH_PR3.json, the tracked perf trajectory.
+// `make bench` regenerates BENCH_PR4.json, the tracked perf trajectory.
 package rls

@@ -27,17 +27,66 @@ func TestJumpRunnerBalances(t *testing.T) {
 	}
 }
 
-func TestJumpRunnerRejectsIncompatibleOptions(t *testing.T) {
-	cases := map[string]*Runner{
-		"strict":   New(16, 64, WithEngineMode(JumpEngine), WithStrictTieRule()),
-		"topology": New(16, 64, WithEngineMode(JumpEngine), WithTopology(RingTopology())),
-		"speeds":   New(16, 64, WithEngineMode(JumpEngine), WithSpeeds(make([]float64, 16))),
-		"fenwick":  New(16, 64, WithEngineMode(JumpEngine), WithFenwickEngine()),
+// TestOptionValidationErrorMessages table-tests every rejection branch of
+// the engine builders — one case per branch per restricted mode, pinned
+// to the exact message so option plumbing can't silently reroute or
+// reword an error.
+func TestOptionValidationErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		r    *Runner
+		want string
+	}{
+		{"jump+strict", New(16, 64, WithEngineMode(JumpEngine), WithStrictTieRule()),
+			"rls: the jump engine supports only plain RLS on the complete topology"},
+		{"jump+topology", New(16, 64, WithEngineMode(JumpEngine), WithTopology(RingTopology())),
+			"rls: the jump engine supports only plain RLS on the complete topology"},
+		{"jump+speeds", New(16, 64, WithEngineMode(JumpEngine), WithSpeeds(make([]float64, 16))),
+			"rls: the jump engine supports only plain RLS on the complete topology"},
+		{"jump+fenwick", New(16, 64, WithEngineMode(JumpEngine), WithFenwickEngine()),
+			"rls: the jump engine has no activation sampler; drop WithFenwickEngine"},
+
+		{"sharded+strict", New(16, 64, WithEngineMode(ShardedEngine), WithStrictTieRule()),
+			"rls: the sharded engine supports only plain RLS on the complete topology"},
+		{"sharded+topology", New(16, 64, WithEngineMode(ShardedEngine), WithTopology(RingTopology())),
+			"rls: the sharded engine supports only plain RLS on the complete topology"},
+		{"sharded+speeds", New(16, 64, WithEngineMode(ShardedEngine), WithSpeeds(make([]float64, 16))),
+			"rls: the sharded engine supports only plain RLS on the complete topology"},
+		{"sharded+fenwick", New(16, 64, WithEngineMode(ShardedEngine), WithFenwickEngine()),
+			"rls: the sharded engine owns per-shard ball lists; drop WithFenwickEngine"},
+		{"sharded+negative shards", New(16, 64, WithEngineMode(ShardedEngine), WithShards(-2)),
+			"rls: -2 shards"},
+		{"sharded+negative epoch", New(16, 64, WithEngineMode(ShardedEngine), WithShardEpoch(-1)),
+			"rls: negative shard epoch -1"},
+
+		{"shardedjump+strict", New(16, 64, WithEngineMode(ShardedJumpEngine), WithStrictTieRule()),
+			"rls: the shardedjump engine supports only plain RLS on the complete topology"},
+		{"shardedjump+topology", New(16, 64, WithEngineMode(ShardedJumpEngine), WithTopology(RingTopology())),
+			"rls: the shardedjump engine supports only plain RLS on the complete topology"},
+		{"shardedjump+speeds", New(16, 64, WithEngineMode(ShardedJumpEngine), WithSpeeds(make([]float64, 16))),
+			"rls: the shardedjump engine supports only plain RLS on the complete topology"},
+		{"shardedjump+fenwick", New(16, 64, WithEngineMode(ShardedJumpEngine), WithFenwickEngine()),
+			"rls: the shardedjump engine owns per-shard ball lists; drop WithFenwickEngine"},
+		{"shardedjump+negative shards", New(16, 64, WithEngineMode(ShardedJumpEngine), WithShards(-2)),
+			"rls: -2 shards"},
+		{"shardedjump+negative epoch", New(16, 64, WithEngineMode(ShardedJumpEngine), WithShardEpoch(-1)),
+			"rls: negative shard epoch -1"},
 	}
-	for name, r := range cases {
-		if _, err := r.Run(); err == nil {
-			t.Errorf("%s + jump engine did not error", name)
-		}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.r.Run()
+			if err == nil {
+				t.Fatal("did not error")
+			}
+			if err.Error() != c.want {
+				t.Errorf("error %q, want %q", err, c.want)
+			}
+			// RunTraced shares the builders and must reject identically.
+			if _, _, terr := c.r.RunTraced(10); terr == nil || terr.Error() != c.want {
+				t.Errorf("RunTraced error %v, want %q", terr, c.want)
+			}
+		})
 	}
 }
 

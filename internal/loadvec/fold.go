@@ -47,9 +47,17 @@ func PartitionOwner(n, parts, bin int) int {
 // bin count, ball count, and extreme loads of the union of the per-shard
 // configurations, from which the global discrepancy and the balance
 // stop conditions follow. The zero value describes an empty system.
+//
+// W additionally folds the per-shard move weights for level-indexed
+// shards (the sharded jump engine): each shard contributes its local
+// productive-pair mass W_s = Σ_v v·count_s[v]·C_s(v−1) plus its external
+// mass X_s against the stale cross-shard snapshot. ΣW_s+X_s is the folded
+// event rate driving the adaptive epoch policy; shards without a level
+// index contribute 0.
 type FoldedStats struct {
 	N, M     int
 	Min, Max int
+	W        int64
 }
 
 // FoldStats folds per-shard Configs into the global stats in O(P). It
@@ -67,6 +75,9 @@ func FoldStats(parts ...*Config) FoldedStats {
 		}
 		if c.Max() > f.Max {
 			f.Max = c.Max()
+		}
+		if c.LevelIndexed() {
+			f.W += c.MoveWeight() + c.ExternalMoveWeight()
 		}
 	}
 	return f

@@ -20,7 +20,10 @@ func (r *RNG) Exp(lambda float64) float64 {
 // (support {1, 2, ...}, mean 1/p). It panics unless 0 < p <= 1.
 //
 // Sampling uses the inverse transform ceil(ln U / ln(1-p)), which is exact
-// and O(1) regardless of p.
+// and O(1) regardless of p. For tiny p the transform can exceed the int64
+// range; the result saturates at math.MaxInt64 rather than relying on
+// Go's platform-defined out-of-range float-to-int conversion (which on
+// amd64 yields MinInt64 — the opposite extreme of the correct huge block).
 func (r *RNG) Geometric(p float64) int64 {
 	if p <= 0 || p > 1 {
 		panic("rng: Geometric with p outside (0,1]")
@@ -29,7 +32,11 @@ func (r *RNG) Geometric(p float64) int64 {
 		return 1
 	}
 	u := r.Float64Open()
-	g := int64(math.Ceil(math.Log(u) / math.Log1p(-p)))
+	gf := math.Ceil(math.Log(u) / math.Log1p(-p))
+	if gf >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	g := int64(gf)
 	if g < 1 {
 		g = 1
 	}
@@ -70,14 +77,17 @@ func (r *RNG) Binomial(n int64, p float64) int64 {
 }
 
 // binomialGeomSkip counts successes by jumping between them with geometric
-// gaps. Expected work is O(np + 1).
+// gaps. Expected work is O(np + 1). The gap is compared against the
+// remaining trials before being added so a saturated Geometric draw
+// (tiny p) terminates instead of overflowing pos.
 func (r *RNG) binomialGeomSkip(n int64, p float64) int64 {
 	var count, pos int64
 	for {
-		pos += r.Geometric(p)
-		if pos > n {
+		g := r.Geometric(p)
+		if g > n-pos {
 			return count
 		}
+		pos += g
 		count++
 	}
 }

@@ -235,6 +235,47 @@ func TestGeometricMatchesExactPMF(t *testing.T) {
 	}
 }
 
+// TestGeometricTinyPSaturates pins the overflow fix: for p so small that
+// the inverse transform exceeds the int64 range, the draw must saturate at
+// MaxInt64 (a huge block) rather than wrap through the platform-defined
+// float-to-int conversion to MinInt64 and be clamped to 1 (the opposite
+// extreme).
+func TestGeometricTinyPSaturates(t *testing.T) {
+	r := New(15)
+	for i := 0; i < 1000; i++ {
+		if g := r.Geometric(1e-300); g != math.MaxInt64 {
+			t.Fatalf("Geometric(1e-300) = %d, want MaxInt64", g)
+		}
+	}
+	// A tiny-but-representable mean must come out huge and positive, in the
+	// right ballpark (mean 1/p = 1e12; individual draws spread widely).
+	var max int64
+	for i := 0; i < 1000; i++ {
+		g := r.Geometric(1e-12)
+		if g < 1 {
+			t.Fatalf("Geometric(1e-12) = %d < 1", g)
+		}
+		if g > max {
+			max = g
+		}
+	}
+	if max < 1e11 {
+		t.Errorf("1000 draws of Geometric(1e-12) peaked at %d, want ≫ 1e11", max)
+	}
+}
+
+// TestBinomialTinyP exercises the geometric-skip path with a saturated
+// gap: it must terminate and return 0 successes instead of overflowing
+// its position counter.
+func TestBinomialTinyP(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 100; i++ {
+		if v := r.Binomial(1000, 1e-300); v != 0 {
+			t.Fatalf("Bin(1000, 1e-300) = %d, want 0", v)
+		}
+	}
+}
+
 func TestBinomialEdgeCases(t *testing.T) {
 	r := New(13)
 	if v := r.Binomial(0, 0.5); v != 0 {

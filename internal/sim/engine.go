@@ -39,6 +39,14 @@ type Engine struct {
 	moves       int64
 	forced      int64
 
+	// horizon, when positive, is the continuous-time target of the current
+	// run. Only jump mode consults it: stepJump clamps the geometric block
+	// that would land past the horizon, so time-targeted jump runs stop at
+	// exactly the horizon instead of overshooting by up to a whole block
+	// (~m·n/W activations near balance). Direct mode keeps its
+	// per-activation granularity and ignores it.
+	horizon float64
+
 	// PostMove, if non-nil, runs after every protocol move with the move's
 	// endpoints. It may call ForceMove; Lemma 2's adversary lives here.
 	PostMove func(e *Engine, src, dst int)
@@ -87,6 +95,15 @@ func (e *Engine) ForcedMoves() int64 { return e.forced }
 
 // RNG returns the engine's random stream (adversaries may share it).
 func (e *Engine) RNG() *rng.RNG { return e.r }
+
+// SetHorizon declares the continuous-time target of the next run (0
+// clears it). Jump mode clamps its final geometric block there — the move
+// that would land beyond the horizon is not applied, the null activations
+// before it are tallied in one conditioned Poisson draw, and the clock
+// lands on the horizon exactly — so UntilTime runs never report a time
+// past the target. Callers driving a persistent engine (Session) must
+// clear the horizon before non-time-targeted runs.
+func (e *Engine) SetHorizon(t float64) { e.horizon = t }
 
 // Step performs one activation (direct mode) or one jump-chain block
 // (jump mode) and returns whether a ball moved.

@@ -54,17 +54,40 @@ func (e *Engine) Jump() bool { return e.jump }
 // activations, its Erlang time gap, and the move that ends it. When no
 // productive move exists (W = 0 ⟺ all loads equal) it falls back to a
 // single null activation so time-targeted runs still advance.
+//
+// With a horizon set (SetHorizon), a block whose closing move would land
+// beyond it is truncated exactly: the number of activations in the
+// remaining window, conditioned on no move occurring there, is
+// Poisson(m·(1−p)·(T−t)) by thinning — the null stream is a Poisson
+// process of rate m·(1−p) independent of the move stream — and the clock
+// lands on T itself. The drawn (k, gap) pair is discarded wholesale; by
+// memorylessness the process after T restarts fresh, so continuing runs
+// (Session) see the exact law.
 func (e *Engine) stepJump() bool {
 	m := float64(e.cfg.M())
 	w := e.cfg.MoveWeight()
+	h := e.horizon
 	if w == 0 {
+		if h > 0 && e.time < h {
+			// Flat configuration: every activation up to the horizon is null.
+			// Tally them in one Poisson draw and land exactly on the horizon.
+			e.activations += e.r.Poisson(m * (h - e.time))
+			e.time = h
+			return false
+		}
 		e.time += e.r.Exp(m)
 		e.activations++
 		return false
 	}
 	p := float64(w) / (m * float64(e.cfg.N()))
 	k := e.r.Geometric(p)
-	e.time += e.r.Erlang(k, m)
+	gap := e.r.Erlang(k, m)
+	if h > 0 && e.time < h && e.time+gap > h {
+		e.activations += e.r.Poisson(m * (1 - p) * (h - e.time))
+		e.time = h
+		return false
+	}
+	e.time += gap
 	e.activations += k
 	src, dst := e.cfg.SampleMovePair(e.r)
 	e.cfg.Move(src, dst)

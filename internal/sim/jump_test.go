@@ -60,6 +60,87 @@ func TestJumpEngineFlatAdvancesTime(t *testing.T) {
 	}
 }
 
+// TestJumpEngineHorizonClampsExactly pins the time-target fix: with a
+// horizon set, the block whose move would land past it is truncated, the
+// clock lands bit-exactly on the horizon, and no move past the horizon is
+// applied — where the unclamped engine overshoots by up to a whole
+// geometric block (~m·n/W activations near balance).
+func TestJumpEngineHorizonClampsExactly(t *testing.T) {
+	const horizon = 4.0
+	for seed := uint64(1); seed <= 20; seed++ {
+		e := NewJumpEngine(loadvec.AllInOne().Generate(16, 128, nil), rng.New(seed))
+		e.SetHorizon(horizon)
+		res := e.Run(UntilTime(horizon), 0)
+		if !res.Stopped {
+			t.Fatalf("seed %d: did not reach the horizon", seed)
+		}
+		if res.Time != horizon {
+			t.Fatalf("seed %d: time %v, want exactly %v", seed, res.Time, horizon)
+		}
+		if res.Activations == 0 {
+			t.Fatalf("seed %d: no activations ticked", seed)
+		}
+		if err := e.Cfg().Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJumpEngineFlatHorizon pins the W = 0 branch under a horizon: a flat
+// configuration jumps straight to the horizon, tallying the null
+// activations in one Poisson draw.
+func TestJumpEngineFlatHorizon(t *testing.T) {
+	e := NewJumpEngine(loadvec.Vector{3, 3, 3, 3}, rng.New(5))
+	e.SetHorizon(3)
+	res := e.Run(UntilTime(3), 0)
+	if !res.Stopped || res.Time != 3 {
+		t.Fatalf("stopped=%v time=%v, want exactly 3", res.Stopped, res.Time)
+	}
+	if res.Moves != 0 {
+		t.Fatalf("flat run made %d moves", res.Moves)
+	}
+	if res.Activations == 0 {
+		t.Fatal("no activations ticked (mean m·T = 36)")
+	}
+}
+
+// TestJumpHorizonMatchesDirectLaw is the regression gate for the
+// truncated final block: at a fixed horizon the direct and jump engines
+// must agree on the law of the activation and move counts (the truncated
+// Poisson tally is exact by thinning), while their reported times bracket
+// the horizon from opposite sides by construction.
+func TestJumpHorizonMatchesDirectLaw(t *testing.T) {
+	const n, m, horizon, reps = 16, 64, 3.0, 400
+	root := rng.New(1702)
+	var directActs, jumpActs, directMoves, jumpMoves float64
+	for i := 0; i < reps; i++ {
+		r := root.Split()
+		res := NewEngine(loadvec.AllInOne().Generate(n, m, nil), rlsRule{}, nil, r).
+			Run(UntilTime(horizon), 0)
+		if res.Time < horizon {
+			t.Fatalf("direct stopped early at %v", res.Time)
+		}
+		directActs += float64(res.Activations)
+		directMoves += float64(res.Moves)
+
+		r2 := root.Split()
+		e := NewJumpEngine(loadvec.AllInOne().Generate(n, m, nil), r2)
+		e.SetHorizon(horizon)
+		res2 := e.Run(UntilTime(horizon), 0)
+		if res2.Time != horizon {
+			t.Fatalf("jump time %v, want exactly %v", res2.Time, horizon)
+		}
+		jumpActs += float64(res2.Activations)
+		jumpMoves += float64(res2.Moves)
+	}
+	if ratio := jumpActs / directActs; math.Abs(ratio-1) > 0.10 {
+		t.Errorf("activation ratio jump/direct = %g, want ≈ 1", ratio)
+	}
+	if ratio := jumpMoves / directMoves; math.Abs(ratio-1) > 0.10 {
+		t.Errorf("move ratio jump/direct = %g, want ≈ 1", ratio)
+	}
+}
+
 // TestJumpEngineChurn interleaves churn with jump execution and checks
 // the level index stays exact.
 func TestJumpEngineChurn(t *testing.T) {

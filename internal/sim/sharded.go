@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/loadvec"
@@ -54,15 +55,68 @@ import (
 // Churn (AddBall/RemoveBall) hashes the bin to its owning shard in O(1)
 // and updates that shard's Config and sampler in place, so the Session
 // churn path stays O(1) per event as in the other engine modes.
+//
+// # Jump mode (NewShardedJump)
+//
+// The sharded *jump* engine composes this parallel structure with the
+// jump engine's rejection-free blocks, covering the dense and end-game
+// regimes in one run. Each shard's Config carries a level index
+// maintaining its local move weight W_s = Σ_v v·count_s[v]·C_s(v−1), and
+// additionally an external weight X_s = Σ_v v·count_s[v]·S_s(v−1) where
+// S_s(w) counts the bins of *other* shards with stale-snapshot load ≤ w —
+// exactly the population the cross-shard proposal filter admits. A
+// uniform activation is eventful (a local productive move, or a proposal
+// passing the stale filter) with probability (W_s+X_s)/(m_s·n), so each
+// shard skips its null activations in Geometric blocks with Erlang time
+// gaps, just like the jump engine, and classifies each event as local
+// (apply immediately, weight W_s) or cross-shard (queue the proposal,
+// weight X_s). Blocks crossing the epoch horizon are truncated exactly —
+// the nulls in the remaining window are a thinned Poisson draw and the
+// clock lands on the horizon — so jump shards meet every barrier on the
+// dot, and time-targeted runs (SetHorizon) never overshoot.
+//
+// Epochs adapt: in auto mode the epoch length starts at the dense
+// activation-sized epoch and shrinks proportionally to the folded global
+// move weight (FoldedStats.W, reconciled at each barrier) as the move
+// rate drops, clamped in event units (jumpEventsPerEpochFloor and
+// max(jumpEventsPerEpochCap, n/P)) — so a run slides from coarse
+// parallel epochs (dense: parallel wins) to per-move epochs (end-game:
+// the jump skipping wins) without the caller picking a mode per regime.
+// With P = 1 the single shard executes the jump engine's exact step
+// loop on the root stream, making fixed-seed output byte-identical to
+// NewJumpEngine's.
 type Sharded struct {
 	n, p   int
 	epoch0 float64 // configured epoch length (0 = auto-sized per Run)
 	dt     float64 // epoch length for the current Run
+	jump   bool    // rejection-free jump shards (NewShardedJump)
+
+	// horizon, when positive, is the continuous-time target of the current
+	// run; only jump mode consults it (epoch ends clamp there, so the run
+	// stops at exactly the horizon). Plain sharded keeps its documented
+	// epoch-overshoot semantics and byte-pinned draw sequence.
+	horizon float64
+	w0      int64 // largest folded move weight seen this Run (adaptive anchor)
 
 	shards []*shard
 	cfgs   []*loadvec.Config // shard Configs, fixed at construction (refold scratch)
 	root   *rng.RNG
 	stale  []int // global loads as of the last reconciliation (filter only)
+
+	// Jump-mode external-destination tables, rebuilt from the stale
+	// snapshot at every barrier (P > 1 only): staleAt buckets the global
+	// bins by stale load in ascending bin order, gcum holds the cumulative
+	// bucket counts. Each shard's extCum subtracts its own bins, giving the
+	// S_s(w) prefix its level index maintains X_s against.
+	staleAt [][]int32
+	gcum    []int64
+
+	// inline, set per epoch in jump mode, runs the epoch and barrier
+	// phases on the calling goroutine: an end-game epoch holds ~one event,
+	// so there is no parallelism to exploit and the goroutine spawns would
+	// dominate the barrier. Draw sequences are per-shard streams either
+	// way, so the output is bit-identical to the parallel schedule.
+	inline bool
 
 	// Folded global view (refreshed at each barrier and churn event).
 	stats loadvec.FoldedStats
@@ -95,6 +149,12 @@ type shard struct {
 	proposed int64
 
 	out chan proposal
+
+	// extCum (jump mode, P > 1) is S_s by level: the cumulative count of
+	// *other* shards' bins by stale load, rebuilt at each barrier. The
+	// shard's level index reads it through the installed external prefix;
+	// externalBinAt maps sampled indices back onto concrete bins.
+	extCum []int64
 
 	// Barrier scratch, indexed by peer shard id. inbox[s] is written by
 	// shard s in phase A and read by this shard in phase B; reject[s] is
@@ -145,6 +205,20 @@ const DefaultShards = 4
 // track the process closely, coarse enough to amortize the barrier.
 const shardedActsPerEpoch = 256
 
+// jumpEventsPerEpochFloor floors the adaptive jump epoch: dt never
+// shrinks below the length holding one expected event globally, so
+// end-game barriers each settle about one jump step — the jump engine's
+// own granularity. Coarser floors measurably inflate end-game balancing
+// times: every deferred cross-shard move waits out the rest of its
+// epoch, and near balance the critical (rare) moves dominate the clock.
+const jumpEventsPerEpochFloor = 1
+
+// jumpEventsPerEpochCap bounds the adaptive epoch from above, in
+// events: no barrier defers more than ~max(cap, n/P) events of
+// cross-shard mixing, which keeps the dense-phase dynamics close to the
+// sequential process at every system size.
+const jumpEventsPerEpochCap = 4
+
 // NewSharded builds a sharded engine over a copy of the initial
 // configuration with the given shard count (0 means DefaultShards) and
 // epoch length (0 means auto: sized per Run so each shard expects
@@ -153,6 +227,20 @@ const shardedActsPerEpoch = 256
 // root stream is used directly so the run is byte-identical to the direct
 // engine's. It panics on a nil RNG or a shard count above the bin count.
 func NewSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG) *Sharded {
+	return newSharded(initial, shards, epoch, root, false)
+}
+
+// NewShardedJump builds the sharded jump engine: the epoch/barrier
+// structure of NewSharded with rejection-free jump shards (see the
+// "Jump mode" section of the Sharded doc). An epoch of 0 selects the
+// adaptive policy — epochs shrink with the folded move rate from the
+// dense activation-sized epoch down to the one-expected-event floor. With
+// shards == 1 fixed-seed output is byte-identical to NewJumpEngine's.
+func NewShardedJump(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG) *Sharded {
+	return newSharded(initial, shards, epoch, root, true)
+}
+
+func newSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG, jump bool) *Sharded {
 	if root == nil {
 		panic("sim: NewSharded with nil RNG")
 	}
@@ -170,6 +258,7 @@ func NewSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG
 		n:      n,
 		p:      shards,
 		epoch0: epoch,
+		jump:   jump,
 		root:   root,
 		stale:  append([]int(nil), initial...),
 	}
@@ -182,15 +271,19 @@ func NewSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG
 		if shards > 1 {
 			r = root.Split()
 		}
-		smp := NewBallList()
-		smp.Reset(part)
 		sh := &shard{
 			id: i, lo: lo, hi: hi,
 			cfg:    loadvec.NewConfig(part),
-			smp:    smp,
 			r:      r,
 			inbox:  make([][]handoff, shards),
 			reject: make([][]int32, shards),
+		}
+		if jump {
+			// Jump shards sample through the level index; no per-ball table.
+			sh.cfg.EnableLevelIndex()
+		} else {
+			sh.smp = NewBallList()
+			sh.smp.Reset(part)
 		}
 		s.cfgs[i] = sh.cfg
 		s.shards[i] = sh
@@ -198,6 +291,18 @@ func NewSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG
 	s.stats = loadvec.FoldStats(s.cfgs...)
 	return s
 }
+
+// Jump reports whether the engine runs rejection-free jump shards.
+func (s *Sharded) Jump() bool { return s.jump }
+
+// SetHorizon declares the continuous-time target of the next run (0
+// clears it). Only jump mode consults it: epoch ends clamp at the
+// horizon and jump shards truncate their final blocks there exactly, so
+// time-targeted sharded-jump runs never report Time() > horizon. Plain
+// sharded ignores it, keeping its epoch-overshoot semantics (and its
+// byte-pinned P = 1 equivalence with the direct engine). Callers driving
+// a persistent engine (Session) must clear it before other runs.
+func (s *Sharded) SetHorizon(t float64) { s.horizon = t }
 
 // N returns the number of bins.
 func (s *Sharded) N() int { return s.n }
@@ -306,7 +411,9 @@ func (s *Sharded) GlobalConfig() *loadvec.Config {
 func (s *Sharded) AddBall(bin int) {
 	sh := s.shards[s.owner(bin)]
 	sh.cfg.AddBall(bin - sh.lo)
-	sh.smp.AddBall(bin - sh.lo)
+	if sh.smp != nil {
+		sh.smp.AddBall(bin - sh.lo)
+	}
 	s.stale[bin]++
 	s.refold()
 }
@@ -316,7 +423,9 @@ func (s *Sharded) AddBall(bin int) {
 func (s *Sharded) RemoveBall(bin int) {
 	sh := s.shards[s.owner(bin)]
 	sh.cfg.RemoveBall(bin - sh.lo)
-	sh.smp.RemoveBall(bin - sh.lo)
+	if sh.smp != nil {
+		sh.smp.RemoveBall(bin - sh.lo)
+	}
 	if s.stale[bin] > 0 {
 		s.stale[bin]--
 	}
@@ -329,11 +438,17 @@ func (s *Sharded) RemoveBall(bin int) {
 // stream; with P = 1 the single draw matches the direct engine's.
 func (s *Sharded) RandomBin() int {
 	if s.p == 1 {
+		if s.jump {
+			return s.shards[0].cfg.SampleBallBin(s.root)
+		}
 		return s.shards[0].smp.Sample(s.root)
 	}
 	k := s.root.Int63n(int64(s.Stats().M))
 	for _, sh := range s.shards {
 		if m := int64(sh.cfg.M()); k < m {
+			if s.jump {
+				return sh.lo + sh.cfg.SampleBallBin(s.root)
+			}
 			return sh.lo + sh.smp.Sample(s.root)
 		} else {
 			k -= m
@@ -372,6 +487,13 @@ func (s *Sharded) run(stop ShardedStop, maxActivations, every int64, traced bool
 	if maxActivations <= 0 {
 		maxActivations = DefaultActivationBudget
 	}
+	if s.jump && s.p > 1 {
+		// Churn may have drifted the stale snapshot since the last barrier;
+		// refresh the external tables (and the folded W they feed) first.
+		s.rebuildExternal()
+		s.refold()
+	}
+	s.w0 = 0
 	s.sizeEpoch()
 
 	var trace []TracePoint
@@ -404,7 +526,11 @@ func (s *Sharded) run(stop ShardedStop, maxActivations, every int64, traced bool
 	stopped := stop(s)
 	for !stopped && s.Activations() < maxActivations {
 		if s.p == 1 {
-			stopped = s.runEpochSingle(maxActivations, check)
+			if s.jump {
+				stopped = s.runEpochSingleJump(maxActivations, check)
+			} else {
+				stopped = s.runEpochSingle(maxActivations, check)
+			}
 		} else {
 			s.runEpochParallel()
 			stopped = check()
@@ -423,8 +549,13 @@ func (s *Sharded) run(stop ShardedStop, maxActivations, every int64, traced bool
 }
 
 // sizeEpoch resolves the epoch length for this Run (auto mode reads the
-// live ball count).
+// live ball count). Parallel jump runs re-size adaptively at every
+// barrier instead.
 func (s *Sharded) sizeEpoch() {
+	if s.jump && s.p > 1 {
+		s.sizeEpochJump()
+		return
+	}
 	s.dt = s.epoch0
 	if s.dt <= 0 {
 		m := s.Stats().M
@@ -433,6 +564,51 @@ func (s *Sharded) sizeEpoch() {
 		}
 		s.dt = float64(shardedActsPerEpoch) * float64(s.p) / float64(m)
 	}
+}
+
+// sizeEpochJump implements the adaptive epoch policy for parallel jump
+// runs in auto mode (an explicit WithShardEpoch length is honored as-is).
+// The epoch starts from the dense activation-sized length and shrinks
+// proportionally to the folded global move weight W (FoldedStats.W,
+// refreshed at every barrier) as the move rate drops — tracking the
+// process ever more finely through the dense→sparse transition. Both ends
+// are clamped in *event* units (expected events per epoch ≈ dt·W/n):
+// at least jumpEventsPerEpochFloor so end-game barriers each settle
+// about one jump step — the jump engine's own granularity — and at
+// most max(jumpEventsPerEpochCap, n/P) so no barrier ever defers more
+// than ~one event per owned bin of cross-shard mixing, which keeps the
+// balancing dynamics close to the sequential process at every scale.
+func (s *Sharded) sizeEpochJump() {
+	if s.epoch0 > 0 {
+		s.dt = s.epoch0
+		return
+	}
+	m := s.stats.M
+	if m < 1 {
+		m = 1
+	}
+	dense := float64(shardedActsPerEpoch) * float64(s.p) / float64(m)
+	w := s.stats.W
+	if w > s.w0 {
+		s.w0 = w // anchor: the largest folded weight seen this Run
+	}
+	if w <= 0 {
+		s.dt = dense
+		return
+	}
+	dt := dense * float64(w) / float64(s.w0)
+	perEvent := float64(s.n) / float64(w) // epoch holding one expected event
+	if floor := jumpEventsPerEpochFloor * perEvent; dt < floor {
+		dt = floor
+	}
+	capEvents := jumpEventsPerEpochCap
+	if perShard := s.n / s.p; perShard > capEvents {
+		capEvents = perShard
+	}
+	if cap := float64(capEvents) * perEvent; dt > cap {
+		dt = cap
+	}
+	s.dt = dt
 }
 
 // sizeQueues grows each shard's bounded proposal queue to 4x the epoch's
@@ -449,6 +625,72 @@ func (s *Sharded) sizeQueues() {
 			sh.out = make(chan proposal, want)
 		}
 	}
+}
+
+// sizeQueuesJump sizes the proposal queues for a jump epoch from the
+// expected proposal count dt·X_s/n (the external weight is the proposal
+// rate) rather than the raw activation count, which jump epochs skip.
+// As in sizeQueues, a full queue only barriers the shard early.
+func (s *Sharded) sizeQueuesJump() {
+	for _, sh := range s.shards {
+		exp := int(s.dt * float64(sh.cfg.ExternalMoveWeight()) / float64(s.n))
+		want := 4*exp + 64
+		if want > 1<<16 {
+			want = 1 << 16
+		}
+		if sh.out == nil || cap(sh.out) < want {
+			sh.out = make(chan proposal, want)
+		}
+	}
+}
+
+// runEpochSingleJump is the P = 1 degenerate path of the sharded jump
+// engine: the jump engine's exact step loop (same RNG draws from the root
+// stream, same horizon clamping, stop checked after every step — keep the
+// branch structure in sync with Engine.stepJump) chunked by one epoch of
+// simulated time.
+func (s *Sharded) runEpochSingleJump(maxActivations int64, check func() bool) bool {
+	sh := s.shards[0]
+	if sh.cfg.M() == 0 {
+		sh.t += s.dt
+		return check()
+	}
+	end := sh.t + s.dt
+	for sh.t < end && sh.acts < maxActivations {
+		m := float64(sh.cfg.M())
+		w := sh.cfg.MoveWeight()
+		h := s.horizon
+		if w == 0 {
+			if h > 0 && sh.t < h {
+				sh.acts += sh.r.Poisson(m * (h - sh.t))
+				sh.t = h
+			} else {
+				sh.t += sh.r.Exp(m)
+				sh.acts++
+			}
+			if check() {
+				return true
+			}
+			continue
+		}
+		p := float64(w) / (m * float64(s.n))
+		k := sh.r.Geometric(p)
+		gap := sh.r.Erlang(k, m)
+		if h > 0 && sh.t < h && sh.t+gap > h {
+			sh.acts += sh.r.Poisson(m * (1 - p) * (h - sh.t))
+			sh.t = h
+		} else {
+			sh.t += gap
+			sh.acts += k
+			src, dst := sh.cfg.SampleMovePair(sh.r)
+			sh.cfg.Move(src, dst)
+			sh.moves++
+		}
+		if check() {
+			return true
+		}
+	}
+	return false
 }
 
 // runEpochSingle is the P = 1 degenerate path: the direct engine's exact
@@ -481,8 +723,26 @@ func (s *Sharded) runEpochSingle(maxActivations int64, check func() bool) bool {
 }
 
 // runEpochParallel runs one epoch concurrently across the shards and
-// drains the cross-shard queues at the barrier.
+// drains the cross-shard queues at the barrier. Jump epochs re-size
+// adaptively first and clamp the epoch horizon at the run horizon, so a
+// time-targeted run's final barrier lands exactly on the target.
 func (s *Sharded) runEpochParallel() {
+	if s.jump {
+		s.sizeEpochJump()
+		end := s.time + s.dt
+		if s.horizon > 0 && s.horizon > s.time && end > s.horizon {
+			end = s.horizon
+		}
+		// Below ~one event per worker the epoch has nothing to parallelize;
+		// run it (and its barrier) inline instead of paying 3P goroutine
+		// spawns per settled move.
+		s.inline = s.dt*float64(s.stats.W) < 4*float64(s.p)*float64(s.n)
+		s.sizeQueuesJump()
+		s.parallel(func(sh *shard) { s.runShardEpochJump(sh, end) })
+		s.barrier()
+		s.inline = false
+		return
+	}
 	s.sizeQueues()
 	end := s.time + s.dt
 	s.parallel(func(sh *shard) { sh.runEpoch(end, s.n, s.stale) })
@@ -527,6 +787,151 @@ func (sh *shard) runEpoch(end float64, n int, stale []int) {
 	}
 }
 
+// runShardEpochJump advances one jump shard to the epoch horizon in
+// rejection-free blocks: with W = the shard's local move weight and
+// X = its external weight against the frozen stale snapshot, an
+// activation is eventful with probability (W+X)/(m_s·n), so the block
+// length is Geometric of that and the time gap Erlang. The closing event
+// is a local move with odds W : X — applied immediately, exactly as in
+// runEpoch — or a cross-shard proposal already known to pass the stale
+// filter, queued for the barrier. A block that would cross the horizon is
+// truncated exactly (the nulls in the remaining window are a thinned
+// Poisson draw, the clock lands on the horizon), so jump shards meet
+// every barrier on the dot; a full queue barriers the shard early at its
+// current clock, which the memoryless gaps make law-preserving.
+func (s *Sharded) runShardEpochJump(sh *shard, end float64) {
+	m := sh.cfg.M()
+	if m == 0 {
+		if sh.t < end {
+			sh.t = end
+		}
+		return
+	}
+	fm := float64(m)
+	budget := cap(sh.out)
+	for sent := 0; sh.t < end; {
+		w := sh.cfg.MoveWeight()
+		x := sh.cfg.ExternalMoveWeight()
+		ew := w + x
+		if ew == 0 {
+			// No eventful activation exists: everything to the horizon is null.
+			sh.acts += sh.r.Poisson(fm * (end - sh.t))
+			sh.t = end
+			return
+		}
+		p := float64(ew) / (fm * float64(s.n))
+		k := sh.r.Geometric(p)
+		gap := sh.r.Erlang(k, fm)
+		if sh.t+gap > end {
+			sh.acts += sh.r.Poisson(fm * (1 - p) * (end - sh.t))
+			sh.t = end
+			return
+		}
+		sh.t += gap
+		sh.acts += k
+		if sh.r.Int63n(ew) < w {
+			src, dst := sh.cfg.SampleMovePair(sh.r)
+			sh.cfg.Move(src, dst)
+			sh.moves++
+		} else {
+			src, j := sh.cfg.SampleExternalMove(sh.r)
+			dst := s.externalBinAt(sh, sh.cfg.Load(src)-1, j)
+			sh.out <- proposal{int32(sh.lo + src), int32(dst)}
+			sh.proposed++
+			if sent++; sent >= budget {
+				return
+			}
+		}
+	}
+}
+
+// rebuildExternal rebuilds the jump mode's external-destination tables
+// from the stale snapshot (single-threaded, inside the barrier): the
+// global staleAt buckets and gcum prefix, each shard's complement prefix
+// extCum, and the external prefix its level index maintains X_s against.
+// O(n + P·Δ) — the same order as the barrier's existing stale refresh.
+func (s *Sharded) rebuildExternal() {
+	maxStale := 0
+	for _, l := range s.stale {
+		if l > maxStale {
+			maxStale = l
+		}
+	}
+	levels := maxStale + 1
+	for len(s.staleAt) < levels {
+		s.staleAt = append(s.staleAt, nil)
+	}
+	s.staleAt = s.staleAt[:levels]
+	for u := range s.staleAt {
+		s.staleAt[u] = s.staleAt[u][:0]
+	}
+	// Bins are scanned in ascending order, so every bucket is sorted by bin
+	// id — externalBinAt's run-splitting relies on this.
+	for bin, l := range s.stale {
+		s.staleAt[l] = append(s.staleAt[l], int32(bin))
+	}
+	if cap(s.gcum) < levels {
+		s.gcum = make([]int64, levels)
+	}
+	s.gcum = s.gcum[:levels]
+	run := int64(0)
+	for u, lst := range s.staleAt {
+		run += int64(len(lst))
+		s.gcum[u] = run
+	}
+	for _, sh := range s.shards {
+		if cap(sh.extCum) < levels {
+			sh.extCum = make([]int64, levels)
+		}
+		sh.extCum = sh.extCum[:levels]
+		for u := range sh.extCum {
+			sh.extCum[u] = 0
+		}
+		for _, l := range s.stale[sh.lo:sh.hi] {
+			sh.extCum[l]++
+		}
+		own := int64(0)
+		for u := range sh.extCum {
+			own += sh.extCum[u]
+			sh.extCum[u] = s.gcum[u] - own
+		}
+		ext := sh.extCum
+		sh.cfg.SetExternalPrefix(func(w int) int64 {
+			if w < 0 {
+				return 0
+			}
+			if w >= len(ext) {
+				w = len(ext) - 1
+			}
+			return ext[w]
+		})
+	}
+}
+
+// externalBinAt maps a uniform index j over shard sh's external bins with
+// stale load ≤ w (the index SampleExternalMove hands back) onto the
+// concrete global bin: binary-search the level through extCum, then split
+// the sorted bucket around the shard's own contiguous bin range.
+func (s *Sharded) externalBinAt(sh *shard, w int, j int64) int {
+	ext := sh.extCum
+	if w >= len(ext) {
+		w = len(ext) - 1
+	}
+	u := sort.Search(w+1, func(i int) bool { return ext[i] > j })
+	var base int64
+	if u > 0 {
+		base = ext[u-1]
+	}
+	bucket := s.staleAt[u]
+	i := int(j - base)
+	run := sort.Search(len(bucket), func(k int) bool { return int(bucket[k]) >= sh.lo })
+	if i < run {
+		return int(bucket[i])
+	}
+	ownCount := len(bucket) - int(ext[u]-base)
+	return int(bucket[i+ownCount])
+}
+
 // barrier drains the proposal queues in three deterministic parallel
 // phases (each phase runs one goroutine per shard over disjoint state,
 // with WaitGroup edges ordering the handovers), then reconciles the
@@ -544,7 +949,9 @@ func (s *Sharded) barrier() {
 				ld := sh.cfg.Load(src)
 				if ld >= 1 && ld >= s.stale[p.dst]+1 {
 					sh.cfg.RemoveBall(src)
-					sh.smp.RemoveBall(src)
+					if sh.smp != nil {
+						sh.smp.RemoveBall(src)
+					}
 					dst := s.shards[s.owner(int(p.dst))]
 					dst.inbox[sh.id] = append(dst.inbox[sh.id],
 						handoff{p.src, p.dst - int32(dst.lo), int32(ld)})
@@ -565,7 +972,9 @@ func (s *Sharded) barrier() {
 				dst := int(h.dstLocal)
 				if int(h.srcLoad) >= sh.cfg.Load(dst)+1 {
 					sh.cfg.AddBall(dst)
-					sh.smp.AddBall(dst)
+					if sh.smp != nil {
+						sh.smp.AddBall(dst)
+					}
 					applied[sh.id]++
 				} else {
 					sh.reject[from] = append(sh.reject[from], h.srcGlobal)
@@ -582,7 +991,9 @@ func (s *Sharded) barrier() {
 			for _, g := range peer.reject[sh.id] {
 				l := int(g) - sh.lo
 				sh.cfg.AddBall(l)
-				sh.smp.AddBall(l)
+				if sh.smp != nil {
+					sh.smp.AddBall(l)
+				}
 			}
 			peer.reject[sh.id] = peer.reject[sh.id][:0]
 		}
@@ -607,13 +1018,20 @@ func (s *Sharded) barrier() {
 	s.moves = moves + s.crossApplied
 	s.crossProposed = proposed
 	s.time = maxT
+	if s.jump {
+		// The stale snapshot just moved: refresh the external tables before
+		// refolding so FoldedStats.W (the adaptive epoch signal) is current.
+		s.rebuildExternal()
+	}
 	s.refold()
 }
 
 // parallel runs fn once per shard, concurrently for P > 1.
 func (s *Sharded) parallel(fn func(sh *shard)) {
-	if s.p == 1 {
-		fn(s.shards[0])
+	if s.p == 1 || s.inline {
+		for _, sh := range s.shards {
+			fn(sh)
+		}
 		return
 	}
 	var wg sync.WaitGroup

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func shardedJumpFrom(n, m, p int, epoch float64, seed uint64) *Sharded {
+	r := rng.New(seed)
+	v := loadvec.OneChoice().Generate(n, m, r)
+	return NewShardedJump(v, p, epoch, r)
+}
+
+func TestShardedJumpBalances(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		for _, epoch := range []float64{0, 0.05} {
+			s := shardedJumpFrom(64, 512, p, epoch, 9)
+			res := s.Run(ShardedUntilPerfect(), 50_000_000)
+			if !res.Stopped {
+				t.Fatalf("P=%d epoch=%g did not balance", p, epoch)
+			}
+			if d := loadvec.Vector(res.Final).Disc(); d >= 1 {
+				t.Fatalf("P=%d epoch=%g final disc %g", p, epoch, d)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("P=%d epoch=%g: %v", p, epoch, err)
+			}
+			if res.Final.Balls() != 512 {
+				t.Fatalf("P=%d lost balls: %d", p, res.Final.Balls())
+			}
+			if res.Moves >= res.Activations {
+				t.Fatalf("P=%d moves %d not below activations %d", p, res.Moves, res.Activations)
+			}
+		}
+	}
+}
+
+// TestShardedJumpDeterministic pins reproducibility: fixed (seed, P)
+// reproduces the run bit for bit regardless of goroutine scheduling.
+func TestShardedJumpDeterministic(t *testing.T) {
+	run := func() Result {
+		return shardedJumpFrom(48, 480, 4, 0, 1234).Run(ShardedUntilPerfect(), 0)
+	}
+	a, b := run(), run()
+	if math.Float64bits(a.Time) != math.Float64bits(b.Time) ||
+		a.Activations != b.Activations || a.Moves != b.Moves {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+	for i := range a.Final {
+		if a.Final[i] != b.Final[i] {
+			t.Fatalf("final loads diverged at bin %d", i)
+		}
+	}
+}
+
+// TestShardedJumpSingleShardMatchesJumpEngine is the engine-level half of
+// the P = 1 byte-equivalence pin: the degenerate sharded jump engine must
+// consume the root stream exactly as NewJumpEngine does, including the
+// horizon-clamped final block of a time-targeted run.
+func TestShardedJumpSingleShardMatchesJumpEngine(t *testing.T) {
+	cases := []struct {
+		name    string
+		horizon float64
+		stop    func() (StopCond, ShardedStop)
+	}{
+		{"perfect", 0, func() (StopCond, ShardedStop) { return UntilPerfect(), ShardedUntilPerfect() }},
+		{"time", 2.5, func() (StopCond, ShardedStop) { return UntilTime(2.5), ShardedUntilTime(2.5) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mk := func() loadvec.Vector { return loadvec.AllInOne().Generate(32, 256, nil) }
+			je := NewJumpEngine(mk(), rng.New(77))
+			se := NewShardedJump(mk(), 1, 0, rng.New(77))
+			if c.horizon > 0 {
+				je.SetHorizon(c.horizon)
+				se.SetHorizon(c.horizon)
+			}
+			jStop, sStop := c.stop()
+			jres := je.Run(jStop, 0)
+			sres := se.Run(sStop, 0)
+			if math.Float64bits(jres.Time) != math.Float64bits(sres.Time) {
+				t.Errorf("time %v != %v", jres.Time, sres.Time)
+			}
+			if jres.Activations != sres.Activations || jres.Moves != sres.Moves {
+				t.Errorf("counters (%d,%d) != (%d,%d)",
+					jres.Activations, jres.Moves, sres.Activations, sres.Moves)
+			}
+			for i := range jres.Final {
+				if jres.Final[i] != sres.Final[i] {
+					t.Fatalf("final loads differ at bin %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedJumpMatchesDirectLaw is the law-equivalence gate at unit
+// scale with fine epochs; experiment A6 runs the full-size version.
+func TestShardedJumpMatchesDirectLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical comparison")
+	}
+	const n, m, p, reps = 24, 192, 4, 300
+	root := rng.New(4242)
+	var directT, shardedT []float64
+	var directActs, shardedActs float64
+	for i := 0; i < reps; i++ {
+		r := root.Split()
+		v := loadvec.AllInOne().Generate(n, m, nil)
+		res := NewEngine(v, rlsRule{}, nil, r).Run(UntilPerfect(), 0)
+		directT = append(directT, res.Time)
+		directActs += float64(res.Activations)
+
+		r2 := root.Split()
+		e := NewShardedJump(loadvec.AllInOne().Generate(n, m, nil), p, float64(p)/float64(m), r2)
+		res2 := e.Run(ShardedUntilPerfect(), 0)
+		shardedT = append(shardedT, res2.Time)
+		shardedActs += float64(res2.Activations)
+	}
+	if same, d := stats.SameDistribution(directT, shardedT, 0.001); !same {
+		t.Errorf("balancing-time KS D = %g rejects the same-law hypothesis", d)
+	}
+	// The geometric blocks and truncated-epoch Poisson draws must tally the
+	// skipped nulls faithfully.
+	if ratio := shardedActs / directActs; math.Abs(ratio-1) > 0.10 {
+		t.Errorf("activation ratio shardedjump/direct = %g, want ≈ 1", ratio)
+	}
+}
+
+// TestShardedJumpTimeTargetExact pins the horizon semantics for P > 1:
+// every jump shard truncates its final block at the clamped epoch end, so
+// the run's reported time is the horizon itself, never past it.
+func TestShardedJumpTimeTargetExact(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		const horizon = 3.25
+		s := shardedJumpFrom(32, 320, p, 0, 11)
+		s.SetHorizon(horizon)
+		res := s.Run(ShardedUntilTime(horizon), 0)
+		if !res.Stopped {
+			t.Fatalf("P=%d did not reach the horizon", p)
+		}
+		if res.Time != horizon {
+			t.Fatalf("P=%d time %v, want exactly %v", p, res.Time, horizon)
+		}
+		if res.Activations == 0 {
+			t.Fatalf("P=%d no activations ticked", p)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+	}
+}
+
+// TestShardedJumpChurn interleaves churn with jump-sharded execution and
+// checks every shard's level index stays exact.
+func TestShardedJumpChurn(t *testing.T) {
+	s := shardedJumpFrom(16, 160, 4, 0, 21)
+	r := rng.New(22)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 8; i++ {
+			switch r.Intn(3) {
+			case 0:
+				s.AddBall(r.Intn(16))
+			case 1:
+				if s.M() > 1 {
+					s.RemoveBall(s.RandomBin())
+				}
+			case 2:
+				s.AddBall(r.Intn(16))
+				s.RemoveBall(s.RandomBin())
+			}
+		}
+		s.SetHorizon(s.Time() + 0.25)
+		s.Run(ShardedUntilTime(s.Time()+0.25), 0)
+		s.SetHorizon(0)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if s.M() <= 0 {
+		t.Fatal("lost all balls")
+	}
+}
+
+// TestShardedJumpExternalTables cross-checks the barrier-built external
+// tables against a brute-force recount of the stale snapshot, and the
+// sampled-index → bin mapping against the exact external population.
+func TestShardedJumpExternalTables(t *testing.T) {
+	s := shardedJumpFrom(33, 220, 4, 0, 5)
+	// A short run populates non-trivial stale state, then the final barrier
+	// leaves freshly built tables.
+	s.Run(ShardedUntilBalanced(2), 0)
+	for _, sh := range s.shards {
+		maxStale := 0
+		for _, l := range s.stale {
+			if l > maxStale {
+				maxStale = l
+			}
+		}
+		for w := 0; w <= maxStale; w++ {
+			var want int64
+			external := map[int]bool{}
+			for bin, l := range s.stale {
+				if (bin < sh.lo || bin >= sh.hi) && l <= w {
+					want++
+					external[bin] = true
+				}
+			}
+			if got := sh.extCum[w]; got != want {
+				t.Fatalf("shard %d extCum[%d] = %d, want %d", sh.id, w, got, want)
+			}
+			// Every index below the prefix must map onto a distinct external
+			// bin with stale load ≤ w.
+			seen := map[int]bool{}
+			for j := int64(0); j < want; j++ {
+				bin := s.externalBinAt(sh, w, j)
+				if !external[bin] {
+					t.Fatalf("shard %d externalBinAt(%d, %d) = %d: not external with stale ≤ %d",
+						sh.id, w, j, bin, w)
+				}
+				if seen[bin] {
+					t.Fatalf("shard %d externalBinAt(%d, ·) repeated bin %d", sh.id, w, bin)
+				}
+				seen[bin] = true
+			}
+		}
+	}
+}

@@ -1,8 +1,20 @@
 package sim
 
 // A StopCond inspects the engine state and reports whether the run should
-// stop. Conditions are checked after every activation (and once before
-// the first).
+// stop. It is always checked once before the first step; how often it is
+// checked afterwards depends on the engine mode (rls.EngineMode):
+//
+//   - direct: after every activation — the finest granularity, and the
+//     only mode where activation-exact conditions are meaningful;
+//   - jump (NewJumpEngine): after every jump-chain step, i.e. one whole
+//     geometric block of null activations plus the move closing it.
+//     Configuration conditions (UntilPerfect, UntilBalanced) see exactly
+//     the move-time law; time or activation targets may overshoot by one
+//     block — except UntilTime runs with Engine.SetHorizon set, whose
+//     final block is clamped exactly at the horizon;
+//   - sharded and sharded jump (Sharded, which takes a ShardedStop rather
+//     than a StopCond): at epoch barriers for P > 1, after every
+//     activation (P = 1 plain) or every jump step (P = 1 jump).
 type StopCond func(e *Engine) bool
 
 // UntilPerfect stops at perfect balance (disc < 1), the paper's balancing

@@ -129,15 +129,34 @@ const (
 	// conditions and traces coarsen to epoch granularity for P > 1, while
 	// P = 1 reproduces the direct engine byte-for-byte.
 	ShardedEngine
+	// ShardedJumpEngine composes the two accelerations: WithShards
+	// goroutine workers as in ShardedEngine, but each shard maintains a
+	// level index over its bins — its local move weight plus an external
+	// weight against the stale cross-shard snapshot — and skips its null
+	// activations in geometric blocks as in JumpEngine, classifying each
+	// eventful activation as a local move (applied immediately) or a
+	// cross-shard proposal (queued for the barrier). Epochs adapt to the
+	// folded global move weight, shrinking relative to the activation
+	// scale as the move rate drops and flooring at per-move-batch epochs,
+	// so one run covers the dense regime (parallel wins) and the end-game
+	// (jump wins) without picking a mode per regime (see
+	// internal/sim.NewShardedJump). Experiment A6 KS-validates the
+	// balancing-time law against DirectEngine; P = 1 is byte-identical to
+	// JumpEngine. Plain RLS on the complete topology only; granularity is
+	// epoch barriers for P > 1, jump steps for P = 1, and time-targeted
+	// runs stop exactly at the horizon (never past it).
+	ShardedJumpEngine
 )
 
-// String returns "direct", "jump", or "sharded".
+// String returns "direct", "jump", "sharded", or "shardedjump".
 func (m EngineMode) String() string {
 	switch m {
 	case JumpEngine:
 		return "jump"
 	case ShardedEngine:
 		return "sharded"
+	case ShardedJumpEngine:
+		return "shardedjump"
 	}
 	return "direct"
 }
@@ -178,18 +197,20 @@ func WithFenwickEngine() Option { return func(r *Runner) { r.fenwick = true } }
 // O(activations); it requires plain RLS on the complete topology.
 func WithEngineMode(m EngineMode) Option { return func(r *Runner) { r.mode = m } }
 
-// WithShards sets the sharded engine's worker count P (default
-// sim.DefaultShards; clamped to the bin count). The shard count is part
-// of the random-stream layout, so fixed-seed runs reproduce only for the
-// same P.
+// WithShards sets the sharded engines' worker count P (default
+// sim.DefaultShards; clamped to the bin count); it composes with
+// ShardedEngine and ShardedJumpEngine. The shard count is part of the
+// random-stream layout, so fixed-seed runs reproduce only for the same P.
 func WithShards(p int) Option { return func(r *Runner) { r.shards = p } }
 
-// WithShardEpoch sets the sharded engine's epoch length in continuous
-// time (default auto: each shard expects a few hundred activations per
-// epoch). Smaller epochs track the sequential process more closely —
+// WithShardEpoch sets the sharded engines' epoch length in continuous
+// time. Smaller epochs track the sequential process more closely —
 // cross-shard moves and stop checks land at barriers — while larger ones
-// amortize the barrier; the A5 experiment runs fine epochs, the dense
-// benchmark coarse ones.
+// amortize the barrier; the A5/A6 experiments run fine epochs, the dense
+// benchmark coarse ones. The default (0 = auto) is a fixed
+// activations-per-shard epoch for ShardedEngine and the adaptive policy
+// for ShardedJumpEngine: epochs shrink with the folded global move
+// weight as the run thins out, floored at per-move-batch epochs.
 func WithShardEpoch(dt float64) Option { return func(r *Runner) { r.shardEpoch = dt } }
 
 // WithActivationBudget caps the number of activations (default 10^9).
@@ -303,14 +324,14 @@ func (r *Runner) mover() (sim.Mover, error) {
 	return core.RLS{}, nil
 }
 
-// shardedEngine builds the sharded engine, rejecting the options it does
-// not support (mirroring the jump engine's restrictions).
+// shardedEngine builds the sharded or sharded-jump engine, rejecting the
+// options neither supports (mirroring the jump engine's restrictions).
 func (r *Runner) shardedEngine() (*sim.Sharded, error) {
 	if r.strict || r.topology.g != nil || r.speeds != nil {
-		return nil, fmt.Errorf("rls: the sharded engine supports only plain RLS on the complete topology")
+		return nil, fmt.Errorf("rls: the %s engine supports only plain RLS on the complete topology", r.mode)
 	}
 	if r.fenwick {
-		return nil, fmt.Errorf("rls: the sharded engine owns per-shard ball lists; drop WithFenwickEngine")
+		return nil, fmt.Errorf("rls: the %s engine owns per-shard ball lists; drop WithFenwickEngine", r.mode)
 	}
 	if r.shards < 0 {
 		return nil, fmt.Errorf("rls: %d shards", r.shards)
@@ -320,6 +341,13 @@ func (r *Runner) shardedEngine() (*sim.Sharded, error) {
 	}
 	stream := rng.New(r.seed)
 	v := r.placement.gen.Generate(r.n, r.m, stream)
+	if r.mode == ShardedJumpEngine {
+		e := sim.NewShardedJump(v, r.shards, r.shardEpoch, stream)
+		if r.target.kind == targetTime {
+			e.SetHorizon(r.target.arg)
+		}
+		return e, nil
+	}
 	return sim.NewSharded(v, r.shards, r.shardEpoch, stream), nil
 }
 
@@ -385,6 +413,12 @@ func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
 		stream := rng.New(r.seed)
 		v := r.placement.gen.Generate(r.n, r.m, stream)
 		e := sim.NewJumpEngine(v, stream)
+		if r.target.kind == targetTime {
+			// Clamp the final geometric block at the horizon so time-targeted
+			// jump runs stop at exactly the target instead of overshooting by
+			// up to a whole block.
+			e.SetHorizon(r.target.arg)
+		}
 		return e, core.NewPhaseTracker(e), nil
 	}
 	mover, err := r.mover()
@@ -417,7 +451,7 @@ func (r *Runner) stop() func(e *sim.Engine) bool {
 // Run executes one run and returns its Result. Configuration errors
 // (mismatched topology or speeds) are returned, not panicked.
 func (r *Runner) Run() (Result, error) {
-	if r.mode == ShardedEngine {
+	if r.mode == ShardedEngine || r.mode == ShardedJumpEngine {
 		e, err := r.shardedEngine()
 		if err != nil {
 			return Result{}, err
@@ -436,7 +470,7 @@ func (r *Runner) Run() (Result, error) {
 // RunTraced is Run plus a trajectory sampled every `every` activations
 // (epoch-granular for the sharded engine with P > 1).
 func (r *Runner) RunTraced(every int64) (Result, []TracePoint, error) {
-	if r.mode == ShardedEngine {
+	if r.mode == ShardedEngine || r.mode == ShardedJumpEngine {
 		e, err := r.shardedEngine()
 		if err != nil {
 			return Result{}, nil, err

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # bench.sh runs the perf-trajectory benchmark suite and writes the results
-# as JSON (default BENCH_PR3.json) so successive PRs can track the hot
+# as JSON (default BENCH_PR4.json) so successive PRs can track the hot
 # paths: whole-run balancing cost (BenchmarkBalanceToPerfection), the
 # direct-vs-jump end-game comparison (BenchmarkEndGame), live churn
-# (BenchmarkSessionChurn), and the direct-vs-sharded dense regime
-# (BenchmarkShardedDense; the sharded/direct ratio needs as many hardware
-# threads as shards — the JSON header records the core count).
+# (BenchmarkSessionChurn), the direct-vs-sharded dense regime
+# (BenchmarkShardedDense), and the sharded-jump composition — end-game
+# scaffolding price (BenchmarkShardedJumpEndGame) and the adaptive-epoch
+# dense→sparse run (BenchmarkShardedJumpDenseToSparse). Shard ratios need
+# as many hardware threads as shards — the JSON header records the core
+# count.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=5x scripts/bench.sh   # override go test -benchtime
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR3.json}
+out=${1:-BENCH_PR4.json}
 benchtime=${BENCHTIME:-3x}
-pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkSessionChurn|BenchmarkShardedDense)$'
+pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

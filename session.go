@@ -30,7 +30,9 @@ import (
 // engine burns almost all activations on rejected null moves — nearly
 // free; the ShardedEngine partitions the bins across goroutine workers
 // for the dense regime, hashing each churn event to the owning shard so
-// joins and leaves stay O(1).
+// joins and leaves stay O(1); the ShardedJumpEngine composes both —
+// parallel shards that each skip their null activations — covering dense
+// stretches and converged stretches in one session.
 type Session struct {
 	engine sessionEngine
 	stream *rng.RNG
@@ -72,9 +74,14 @@ func (a sequentialSession) BinLoad(bin int) int           { return a.e.Cfg().Loa
 func (a sequentialSession) SnapshotLoads() loadvec.Vector { return a.e.Cfg().Snapshot() }
 func (a sequentialSession) CurrentDisc() float64          { return a.e.Cfg().Disc() }
 func (a sequentialSession) RunUntilTime(t float64, maxActivations int64) {
+	// The horizon clamps jump-mode blocks exactly at t (direct mode ignores
+	// it); clear it afterwards — the engine persists across runs.
+	a.e.SetHorizon(t)
 	a.e.Run(sim.UntilTime(t), maxActivations)
+	a.e.SetHorizon(0)
 }
 func (a sequentialSession) RunToPerfect(maxActivations int64) bool {
+	a.e.SetHorizon(0)
 	return a.e.Run(sim.UntilPerfect(), maxActivations).Stopped
 }
 
@@ -93,9 +100,13 @@ func (a shardedSession) BinLoad(bin int) int           { return a.e.Load(bin) }
 func (a shardedSession) SnapshotLoads() loadvec.Vector { return a.e.Snapshot() }
 func (a shardedSession) CurrentDisc() float64          { return a.e.Disc() }
 func (a shardedSession) RunUntilTime(t float64, maxActivations int64) {
+	// As in sequentialSession: only jump shards consult the horizon.
+	a.e.SetHorizon(t)
 	a.e.Run(sim.ShardedUntilTime(t), maxActivations)
+	a.e.SetHorizon(0)
 }
 func (a shardedSession) RunToPerfect(maxActivations int64) bool {
+	a.e.SetHorizon(0)
 	return a.e.Run(sim.ShardedUntilPerfect(), maxActivations).Stopped
 }
 
@@ -110,7 +121,7 @@ func WithSessionEngineMode(m EngineMode) SessionOption {
 
 // WithSessionShards sets the sharded session's worker count (default
 // sim.DefaultShards); it only takes effect with
-// WithSessionEngineMode(ShardedEngine).
+// WithSessionEngineMode(ShardedEngine) or (ShardedJumpEngine).
 func WithSessionShards(p int) SessionOption {
 	return func(s *Session) { s.shards = p }
 }
@@ -129,6 +140,8 @@ func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 		s.engine = sequentialSession{sim.NewJumpEngine(make(loadvec.Vector, n), s.stream)}
 	case ShardedEngine:
 		s.engine = shardedSession{sim.NewSharded(make(loadvec.Vector, n), s.shards, 0, s.stream)}
+	case ShardedJumpEngine:
+		s.engine = shardedSession{sim.NewShardedJump(make(loadvec.Vector, n), s.shards, 0, s.stream)}
 	default:
 		s.engine = sequentialSession{sim.NewEngine(make(loadvec.Vector, n), core.RLS{}, sim.NewBallList(), s.stream)}
 	}

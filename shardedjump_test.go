@@ -1,0 +1,234 @@
+package rls
+
+import (
+	"math"
+	"testing"
+)
+
+// TestShardedJumpSingleShardByteIdenticalToJump pins the P = 1 degenerate
+// case of the sharded jump engine to the jump engine: same root RNG
+// stream, same draw order (geometric blocks, Erlang gaps, move-pair
+// samples), same per-step stop granularity, same horizon clamping — the
+// fixed-seed output must match bit for bit across placements and target
+// kinds.
+func TestShardedJumpSingleShardByteIdenticalToJump(t *testing.T) {
+	cases := []struct {
+		name string
+		n, m int
+		opts []Option
+	}{
+		{"all-in-one/n=32,m=256,seed=42", 32, 256, []Option{WithSeed(42)}},
+		{"random/n=128,m=1024,seed=11", 128, 1024, []Option{WithSeed(11), WithPlacement(Random())}},
+		{"two-choice/disc-target/n=16,m=160,seed=7", 16, 160,
+			[]Option{WithSeed(7), WithPlacement(TwoChoice()), WithTarget(UntilBalanced(2))}},
+		{"time-target/n=64,m=640,seed=3", 64, 640,
+			[]Option{WithSeed(3), WithTarget(UntilTime(2.5))}},
+		{"delta-pair/n=48,m=480,seed=9", 48, 480,
+			[]Option{WithSeed(9), WithPlacement(DeltaPair(3))}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			jump, err := New(c.n, c.m, append([]Option{WithEngineMode(JumpEngine)}, c.opts...)...).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := New(c.n, c.m,
+				append([]Option{WithEngineMode(ShardedJumpEngine), WithShards(1)}, c.opts...)...).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, c.name, jump, sharded)
+		})
+	}
+}
+
+// TestShardedJumpSingleShardTracedMatchesJump extends the byte-identity
+// to traced runs: with P = 1 trace points land at the same activations.
+func TestShardedJumpSingleShardTracedMatchesJump(t *testing.T) {
+	jres, jtr, err := New(24, 192, WithSeed(13), WithEngineMode(JumpEngine)).RunTraced(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, str, err := New(24, 192, WithSeed(13), WithEngineMode(ShardedJumpEngine), WithShards(1)).RunTraced(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "traced", jres, sres)
+	if len(jtr) != len(str) {
+		t.Fatalf("trace lengths %d != %d", len(jtr), len(str))
+	}
+	for i := range jtr {
+		if jtr[i].Time != str[i].Time || jtr[i].Activations != str[i].Activations ||
+			jtr[i].Disc != str[i].Disc || jtr[i].MinLoad != str[i].MinLoad ||
+			jtr[i].MaxLoad != str[i].MaxLoad {
+			t.Fatalf("trace point %d: %+v != %+v", i, jtr[i], str[i])
+		}
+	}
+}
+
+func TestShardedJumpRunnerBalances(t *testing.T) {
+	res, err := New(64, 512, WithSeed(5), WithEngineMode(ShardedJumpEngine), WithShards(4)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatal("did not balance")
+	}
+	if res.Disc >= 1 {
+		t.Fatalf("final disc = %g", res.Disc)
+	}
+	if res.Moves >= res.Activations {
+		t.Fatalf("moves %d not below activations %d", res.Moves, res.Activations)
+	}
+	// Stop conditions fire at barriers, where the phase observer also
+	// runs: the perfect crossing must coincide with the stop time.
+	if res.Phases.Perfect != res.Time {
+		t.Errorf("perfect phase time %g != stop time %g", res.Phases.Perfect, res.Time)
+	}
+}
+
+func TestShardedJumpEngineModeString(t *testing.T) {
+	if ShardedJumpEngine.String() != "shardedjump" {
+		t.Fatalf("mode string: %q", ShardedJumpEngine)
+	}
+}
+
+// TestJumpTimeTargetNeverOvershoots is the acceptance gate for the
+// jump-mode time-target fix: across modes and seeds, WithTarget(UntilTime)
+// runs must never report a final time past the horizon — they land on it
+// exactly, where the direct engine documents a one-activation overshoot.
+func TestJumpTimeTargetNeverOvershoots(t *testing.T) {
+	const horizon = 2.75
+	for _, mode := range []EngineMode{JumpEngine, ShardedJumpEngine} {
+		for seed := uint64(1); seed <= 25; seed++ {
+			res, err := New(32, 320, WithSeed(seed), WithEngineMode(mode),
+				WithTarget(UntilTime(horizon))).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Reached {
+				t.Fatalf("%s seed %d: did not reach the horizon", mode, seed)
+			}
+			if res.Time > horizon {
+				t.Fatalf("%s seed %d: time %v past the horizon %v", mode, seed, res.Time, horizon)
+			}
+			if res.Time != horizon {
+				t.Errorf("%s seed %d: time %v, want exactly %v", mode, seed, res.Time, horizon)
+			}
+		}
+	}
+}
+
+// TestJumpTimeTargetAgreesWithDirect is the public-API half of the
+// regression test: at a fixed horizon the direct and jump runners must
+// agree on mean activations and moves, while only the direct one may end
+// past the horizon.
+func TestJumpTimeTargetAgreesWithDirect(t *testing.T) {
+	const horizon, reps = 2.0, 200
+	var directActs, jumpActs float64
+	for seed := uint64(1); seed <= reps; seed++ {
+		dres, err := New(16, 64, WithSeed(seed), WithTarget(UntilTime(horizon))).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres.Time < horizon {
+			t.Fatalf("direct seed %d stopped early at %v", seed, dres.Time)
+		}
+		directActs += float64(dres.Activations)
+		jres, err := New(16, 64, WithSeed(seed+1000), WithEngineMode(JumpEngine),
+			WithTarget(UntilTime(horizon))).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jres.Time != horizon {
+			t.Fatalf("jump seed %d: time %v, want exactly %v", seed, jres.Time, horizon)
+		}
+		jumpActs += float64(jres.Activations)
+	}
+	if ratio := jumpActs / directActs; math.Abs(ratio-1) > 0.10 {
+		t.Errorf("activation ratio jump/direct = %g, want ≈ 1", ratio)
+	}
+}
+
+// TestSessionShardedJumpMode drives the full churn surface in
+// sharded-jump mode: joins and leaves hash into the owning shard's level
+// index, and RunFor's horizon lands the session clock exactly.
+func TestSessionShardedJumpMode(t *testing.T) {
+	s := NewSession(16, 42, WithSessionEngineMode(ShardedJumpEngine), WithSessionShards(4))
+	if s.Mode() != ShardedJumpEngine {
+		t.Fatal("mode not recorded")
+	}
+	for i := 0; i < 160; i++ {
+		s.AddBallRandom()
+	}
+	ok, err := s.RunUntilPerfect(10_000_000)
+	if err != nil || !ok {
+		t.Fatalf("balance failed: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.AddBall(i % 16); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RemoveRandomBall(); err != nil {
+			t.Fatal(err)
+		}
+		before := s.Time()
+		if err := s.RunFor(0.5); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Time(); got != before+0.5 {
+			t.Fatalf("RunFor landed at %v, want exactly %v", got, before+0.5)
+		}
+	}
+	if s.M() != 160 {
+		t.Fatalf("m = %d after balanced churn", s.M())
+	}
+	if ok, err := s.RunUntilPerfect(10_000_000); err != nil || !ok {
+		t.Fatalf("rebalance failed: %v", err)
+	}
+	if s.Disc() >= 1 {
+		t.Fatalf("disc = %g", s.Disc())
+	}
+}
+
+// TestSessionShardedJumpSingleShardMatchesJump extends the P = 1
+// byte-identity through the session surface: identical churn histories
+// must leave identical engines.
+func TestSessionShardedJumpSingleShardMatchesJump(t *testing.T) {
+	drive := func(s *Session) {
+		for i := 0; i < 96; i++ {
+			s.AddBallRandom()
+		}
+		if ok, err := s.RunUntilPerfect(1_000_000); err != nil || !ok {
+			t.Fatalf("balance failed: %v", err)
+		}
+		for i := 0; i < 30; i++ {
+			if err := s.AddBall(i % 12); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.RemoveRandomBall(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RunFor(0.25); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j := NewSession(12, 77, WithSessionEngineMode(JumpEngine))
+	drive(j)
+	sh := NewSession(12, 77, WithSessionEngineMode(ShardedJumpEngine), WithSessionShards(1))
+	drive(sh)
+	if math.Float64bits(j.Time()) != math.Float64bits(sh.Time()) {
+		t.Errorf("time %v != %v", j.Time(), sh.Time())
+	}
+	if j.Activations() != sh.Activations() || j.Moves() != sh.Moves() {
+		t.Errorf("counters (%d,%d) != (%d,%d)", j.Activations(), j.Moves(), sh.Activations(), sh.Moves())
+	}
+	jl, sl := j.Loads(), sh.Loads()
+	for i := range jl {
+		if jl[i] != sl[i] {
+			t.Fatalf("loads differ at bin %d", i)
+		}
+	}
+}
