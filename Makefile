@@ -18,7 +18,7 @@ lint:
 race:
 	go test -race ./...
 
-# bench regenerates BENCH_PR4.json, the perf trajectory tracked per PR
+# bench regenerates BENCH_PR5.json, the perf trajectory tracked per PR
 # (balancing runs, direct-vs-jump end-game, session churn, direct-vs-
 # sharded dense regime, and the sharded-jump composition benches).
 bench:

@@ -1,7 +1,7 @@
 package rls
 
-// bench_test.go exposes every experiment from the DESIGN.md index as a
-// testing.B benchmark: `go test -bench=ExpT1` regenerates Theorem 1's
+// bench_test.go exposes every experiment registered in internal/harness
+// as a testing.B benchmark: `go test -bench=ExpT1` regenerates Theorem 1's
 // sweep, `-bench=Exp` regenerates everything. Each iteration runs the
 // full Quick-scale experiment; set RLS_BENCH_PRINT=1 to print the
 // resulting tables to stderr (cmd/rlsweep prints them with more control).
@@ -174,37 +174,41 @@ func BenchmarkShardedDense(b *testing.B) {
 // BenchmarkShardedJumpEndGame measures whole UntilPerfect runs at n = m
 // from the all-in-one start — BenchmarkEndGame's regime — for the jump
 // engine vs the sharded jump engine at P = 4 with adaptive epochs. Near
-// balance both skip the same null blocks; the sharded variant adds
-// per-barrier reconciliation (O(n) stale refresh + external tables) per
-// ~jumpMovesPerEpoch moves, so the jump/shardedjump ratio prices the
-// parallel scaffolding in the regime where there is least work to share;
-// BENCH_PR4.json records it next to the core count.
+// balance both skip the same null blocks and the epoch policy floors at
+// ~one event per barrier, so the sharded variant's extra cost is pure
+// barrier reconciliation — since PR 5 incremental (dirty-bin journals in
+// O(changed·Δ) per barrier, not an O(n) stale refresh + table rebuild).
+// Two sizes pin the scaling: the ns/move gap between shardedjump and jump
+// must stay roughly flat as n quadruples, where the old full rebuild grew
+// it linearly. BENCH_PR5.json records both next to the core count.
 func BenchmarkShardedJumpEndGame(b *testing.B) {
-	const n = 2048
-	for _, c := range []struct {
-		name string
-		opts []Option
-	}{
-		{"jump", []Option{WithEngineMode(JumpEngine)}},
-		{"shardedjump-P4", []Option{WithEngineMode(ShardedJumpEngine), WithShards(4)}},
-	} {
-		b.Run(fmt.Sprintf("n=m=%d/%s", n, c.name), func(b *testing.B) {
-			var totalActs, totalMoves int64
-			for i := 0; i < b.N; i++ {
-				opts := append([]Option{WithSeed(uint64(i) + 1)}, c.opts...)
-				res, err := New(n, n, opts...).Run()
-				if err != nil {
-					b.Fatal(err)
+	for _, n := range []int{2048, 8192} {
+		for _, c := range []struct {
+			name string
+			opts []Option
+		}{
+			{"jump", []Option{WithEngineMode(JumpEngine)}},
+			{"shardedjump-P4", []Option{WithEngineMode(ShardedJumpEngine), WithShards(4)}},
+		} {
+			b.Run(fmt.Sprintf("n=m=%d/%s", n, c.name), func(b *testing.B) {
+				var totalActs, totalMoves int64
+				for i := 0; i < b.N; i++ {
+					opts := append([]Option{WithSeed(uint64(i) + 1)}, c.opts...)
+					res, err := New(n, n, opts...).Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Reached {
+						b.Fatal("did not balance")
+					}
+					totalActs += res.Activations
+					totalMoves += res.Moves
 				}
-				if !res.Reached {
-					b.Fatal("did not balance")
-				}
-				totalActs += res.Activations
-				totalMoves += res.Moves
-			}
-			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
-			b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
-		})
+				b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+				b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalMoves), "ns/move")
+			})
+		}
 	}
 }
 

@@ -27,6 +27,14 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure: 1|2|3|M1|M2|all")
 	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"rlsfigs regenerates the paper's illustration figures (1-3) and the\n"+
+				"reproduction's measurement figures (M1, M2) as ASCII renderings.\n\n"+
+				"Usage: rlsfigs [flags]   (see cmd/README.md for the full tour)\n\n"+
+				"Flags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	figs := map[string]func(uint64){

@@ -41,6 +41,14 @@ func main() {
 		plot      = flag.Bool("plot", true, "render initial/final configurations as ASCII bars")
 		csv       = flag.Bool("csv", false, "emit the trace as CSV instead of a table (implies -trace)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"rlsim runs one RLS simulation and prints a summary, an optional\n"+
+				"trajectory, and an ASCII rendering of the configurations.\n\n"+
+				"Usage: rlsim [flags]   (see cmd/README.md for the full tour)\n\n"+
+				"Flags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *csv && *trace <= 0 {
 		*trace = 100

@@ -1,5 +1,6 @@
 // Command rlsweep regenerates the reproduction's experiment tables — one
-// per figure/claim of the paper, per the index in DESIGN.md §3.
+// per figure/claim of the paper plus the engine-equivalence gates, as
+// registered in internal/harness (-list enumerates them).
 //
 // Examples:
 //
@@ -27,6 +28,14 @@ func main() {
 		list   = flag.Bool("list", false, "list registered experiments and exit")
 		outdir = flag.String("outdir", "", "also write each table as <outdir>/<ID>.csv")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"rlsweep regenerates the experiment tables — one per figure/claim of\n"+
+				"the paper plus the engine-equivalence gates (-list enumerates them).\n\n"+
+				"Usage: rlsweep [flags]   (see cmd/README.md for the full tour)\n\n"+
+				"Flags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *list {

@@ -63,7 +63,14 @@
 //     mode per regime; WithShardEpoch overrides the policy with a fixed
 //     length. Blocks are truncated exactly at epoch and time horizons
 //     (the remaining nulls are one thinned Poisson draw), so
-//     time-targeted runs stop at exactly the target.
+//     time-targeted runs stop at exactly the target. Barriers reconcile
+//     the stale snapshot and the external tables *incrementally*: shards
+//     journal the bins they mutate, and each barrier replays the
+//     journals as deltas (loadvec.StaleIndex bucket moves plus an
+//     ExternalPrefixUpdated window per peer shard) in O(changed·P·Δ)
+//     instead of an O(n + P·Δ) rebuild — so the end-game's per-move
+//     barriers cost O(P·Δ), not O(n), and the mode stays competitive in
+//     the sparse regime rather than being a dense-only trick.
 //
 // Direct and jump induce the identical law on every quantity observed at
 // moves — balancing times, phase-crossing times, move counts, final
@@ -116,6 +123,9 @@
 //
 // The experiment suite reproducing every figure and claim of the paper
 // lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and
-// the benchmarks in bench_test.go; see DESIGN.md and EXPERIMENTS.md.
-// `make bench` regenerates BENCH_PR4.json, the tracked perf trajectory.
+// the benchmarks in bench_test.go (`go run ./cmd/rlsweep -list`
+// enumerates it; cmd/README.md documents the tools). README.md is the
+// project front door — quickstart, the engine-mode matrix, the examples
+// tour, and the benchmark methodology. `make bench` regenerates
+// BENCH_PR5.json, the tracked perf trajectory.
 package rls

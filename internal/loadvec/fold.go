@@ -5,8 +5,12 @@ package loadvec
 // own Config, and the global stop-condition view — min/max load, ball
 // count, discrepancy — is *folded* from the per-shard histograms instead
 // of being recomputed from a concatenated load vector. Folding is O(P)
-// for P shards because every Config already tracks its own min/max/m
-// incrementally.
+// for P shards because every input is already maintained incrementally:
+// each Config tracks its own min/max/m per move, the level index tracks
+// W_s in O(log Δ) per transition, and the external weight X_s follows the
+// stale census through ExternalPrefixUpdated deltas (see StaleIndex) — so
+// a barrier's whole FoldedStats refresh reads P structs and never rebuilds
+// or rescans a load vector.
 
 // Partition splits a load vector into parts contiguous, near-equal bin
 // ranges (range i is [i·n/parts, (i+1)·n/parts)), each returned as an
@@ -51,9 +55,10 @@ func PartitionOwner(n, parts, bin int) int {
 // W additionally folds the per-shard move weights for level-indexed
 // shards (the sharded jump engine): each shard contributes its local
 // productive-pair mass W_s = Σ_v v·count_s[v]·C_s(v−1) plus its external
-// mass X_s against the stale cross-shard snapshot. ΣW_s+X_s is the folded
-// event rate driving the adaptive epoch policy; shards without a level
-// index contribute 0.
+// mass X_s against the stale cross-shard census (both maintained
+// incrementally, X_s via ExternalPrefixUpdated at barriers). ΣW_s+X_s is
+// the folded event rate driving the adaptive epoch policy; shards without
+// a level index contribute 0.
 type FoldedStats struct {
 	N, M     int
 	Min, Max int

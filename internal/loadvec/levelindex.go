@@ -69,6 +69,20 @@ func newFenwick(n int) *fenwick {
 	return f
 }
 
+// newFenwickFrom builds a tree holding the given values in O(n): each node
+// pushes its subtotal up to its parent once instead of paying a point
+// update per entry.
+func newFenwickFrom(vals []int64) *fenwick {
+	f := newFenwick(len(vals))
+	copy(f.tree[1:], vals)
+	for i := 1; i <= f.n; i++ {
+		if j := i + i&(-i); j <= f.n {
+			f.tree[j] += f.tree[i]
+		}
+	}
+	return f
+}
+
 // add adds delta to the value at 0-based index i.
 func (f *fenwick) add(i int, delta int64) {
 	for pos := i + 1; pos <= f.n; pos += pos & (-pos) {
@@ -354,6 +368,39 @@ func (c *Config) SetExternalPrefix(ext func(w int) int64) {
 		return
 	}
 	c.idx.rebuildExternal()
+}
+
+// ExternalPrefixUpdated tells the level index that the installed external
+// prefix's values may have changed for arguments w ∈ [lo, hi] — and only
+// there — and refreshes the affected external weights x[v] =
+// v·count[v]·ext(v−1), i.e. v ∈ [lo+1, hi+1], in O((hi−lo)·log Δ). It is
+// the delta counterpart of reinstalling the prefix with SetExternalPrefix,
+// which pays a full pass over the indexed levels: when one external bin's
+// reference load moves from a to b, ext changes only on
+// [min(a,b), max(a,b)−1], so the sharded jump engine's barriers advertise
+// exactly that window per reconciled bin instead of rebuilding every
+// shard's external tree. The prefix function itself must already return
+// the new values when this is called. With no external prefix installed it
+// is a no-op; it panics unless the level index is enabled.
+func (c *Config) ExternalPrefixUpdated(lo, hi int) {
+	if c.idx == nil {
+		panic("loadvec: ExternalPrefixUpdated without EnableLevelIndex")
+	}
+	x := c.idx
+	if x.extP == nil {
+		return
+	}
+	v0, v1 := lo+1, hi+1
+	if v0 < 1 {
+		v0 = 1
+	}
+	if v1 >= x.size {
+		// Levels past the indexed range hold no bins (count 0 ⇒ x[v] = 0).
+		v1 = x.size - 1
+	}
+	for v := v0; v <= v1; v++ {
+		x.refreshExternal(v)
+	}
 }
 
 // ExternalMoveWeight returns X = Σ_v v·count[v]·ext(v−1) for the

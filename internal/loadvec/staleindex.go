@@ -1,0 +1,237 @@
+package loadvec
+
+import "fmt"
+
+// StaleIndex is the census of a partitioned system's bins at their stale
+// (last-reconciliation) loads, maintained so that single-bin level changes
+// are cheap. The sharded jump engine (internal/sim) keeps one: every
+// shard's external move weight X_s is defined against the *other* shards'
+// bins at their stale-snapshot levels, and at end-game per-move epochs the
+// snapshot changes by only a handful of bins per barrier — so the census
+// must be updatable per bin, not rebuilt per barrier.
+//
+// The structure holds, for every (level v, part p), the bucket of part p's
+// bins at stale level v (swap-delete lists with a position index, exactly
+// like the level index's binsAt), plus Fenwick trees over the per-level
+// bin counts: one global tree and one per part. Part p's external prefix
+//
+//	ext_p(w) = #{bins of other parts with stale level ≤ w}
+//	         = gcnt.prefix(w) − own_p.prefix(w)
+//
+// is then an O(log Δ) query, Move (one bin changing level) is an
+// O(P + log Δ) update, and ExternalBinAt maps a sampled uniform index over
+// that population onto its concrete bin in O(P + log Δ) — no operation
+// ever scans a bucket, which matters because end-game buckets hold ~n
+// bins. Parts own contiguous bin ranges under PartitionRange, matching the
+// sharded engine's layout.
+type StaleIndex struct {
+	n, parts int
+	levels   int       // indexed levels 0..levels-1 (doubling growth)
+	at       [][]int32 // at[v*parts+p]: part p's bins at stale level v
+	pos      []int32   // bin -> position within its bucket
+	gcnt     *fenwick  // per-level global bin count
+	own      []*fenwick
+}
+
+// NewStaleIndex builds the census for the given stale snapshot under a
+// parts-way contiguous partition (the from-scratch reconciliation; the
+// property tests compare incrementally maintained indexes against it). It
+// panics on an empty snapshot, a negative level, or parts outside
+// [1, len(stale)]. O(n + parts·Δ).
+func NewStaleIndex(stale []int, parts int) *StaleIndex {
+	if len(stale) == 0 {
+		panic("loadvec: NewStaleIndex with no bins")
+	}
+	if parts < 1 || parts > len(stale) {
+		panic("loadvec: NewStaleIndex with parts outside [1, len(stale)]")
+	}
+	maxLevel := 0
+	for bin, l := range stale {
+		if l < 0 {
+			panic(fmt.Sprintf("loadvec: NewStaleIndex with negative level at bin %d", bin))
+		}
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	levels := 4
+	for levels <= maxLevel {
+		levels *= 2
+	}
+	x := &StaleIndex{
+		n:      len(stale),
+		parts:  parts,
+		levels: levels,
+		at:     make([][]int32, levels*parts),
+		pos:    make([]int32, len(stale)),
+	}
+	// Bins are scanned in ascending order, so every bucket starts sorted by
+	// bin id; incremental Moves are free to break that (nothing reads it).
+	for bin, l := range stale {
+		b := l*parts + PartitionOwner(x.n, parts, bin)
+		x.pos[bin] = int32(len(x.at[b]))
+		x.at[b] = append(x.at[b], int32(bin))
+	}
+	x.rebuildCounts()
+	return x
+}
+
+// rebuildCounts derives the global and per-part Fenwick trees from the
+// bucket lengths alone; used on construction and level growth.
+func (x *StaleIndex) rebuildCounts() {
+	gv := make([]int64, x.levels)
+	x.own = make([]*fenwick, x.parts)
+	for p := 0; p < x.parts; p++ {
+		ov := make([]int64, x.levels)
+		for v := 0; v < x.levels; v++ {
+			c := int64(len(x.at[v*x.parts+p]))
+			ov[v] = c
+			gv[v] += c
+		}
+		x.own[p] = newFenwickFrom(ov)
+	}
+	x.gcnt = newFenwickFrom(gv)
+}
+
+// grow extends the indexed level range to cover `need` (amortized O(1) per
+// Move by doubling).
+func (x *StaleIndex) grow(need int) {
+	levels := x.levels
+	for levels <= need {
+		levels *= 2
+	}
+	at := make([][]int32, levels*x.parts)
+	copy(at, x.at)
+	x.at = at
+	x.levels = levels
+	x.rebuildCounts()
+}
+
+// Levels returns the number of indexed levels (all bins sit below it).
+func (x *StaleIndex) Levels() int { return x.levels }
+
+// Move records that bin's stale level changed from `from` to `to`,
+// updating its bucket and both count trees in O(P + log Δ). The caller
+// owns the snapshot itself and passes the old and new levels explicitly.
+func (x *StaleIndex) Move(bin, from, to int) {
+	if to >= x.levels {
+		x.grow(to)
+	}
+	p := PartitionOwner(x.n, x.parts, bin)
+	src := x.at[from*x.parts+p]
+	i := x.pos[bin]
+	last := src[len(src)-1]
+	src[i] = last
+	x.pos[last] = i
+	x.at[from*x.parts+p] = src[:len(src)-1]
+	dst := x.at[to*x.parts+p]
+	x.pos[bin] = int32(len(dst))
+	x.at[to*x.parts+p] = append(dst, int32(bin))
+
+	x.gcnt.add(from, -1)
+	x.gcnt.add(to, 1)
+	x.own[p].add(from, -1)
+	x.own[p].add(to, 1)
+}
+
+// External returns ext_part(w): the number of bins owned by *other* parts
+// with stale level ≤ w, in O(log Δ). Arguments below 0 return 0 and
+// arguments past the indexed range clamp to it (every bin sits below
+// Levels), so the result is monotone in w — the contract
+// Config.SetExternalPrefix requires.
+func (x *StaleIndex) External(part, w int) int64 {
+	if w < 0 {
+		return 0
+	}
+	if w >= x.levels {
+		w = x.levels - 1
+	}
+	return x.gcnt.prefix(w) - x.own[part].prefix(w)
+}
+
+// ExternalBinAt maps a uniform index j ∈ [0, External(part, w)) onto its
+// concrete bin: the j-th bin of the external population counted by
+// External(part, w), ordered by (level, owning part, bucket position). The
+// level is found by a Fenwick descend over the difference of the two count
+// trees, then the index walks the level's per-part buckets, skipping
+// part's own.
+func (x *StaleIndex) ExternalBinAt(part, w int, j int64) int {
+	if w >= x.levels {
+		w = x.levels - 1
+	}
+	u, rem := findDiff(x.gcnt, x.own[part], j)
+	if u > w {
+		panic("loadvec: ExternalBinAt index beyond the level bound")
+	}
+	for p := 0; p < x.parts; p++ {
+		if p == part {
+			continue
+		}
+		b := x.at[u*x.parts+p]
+		if rem < int64(len(b)) {
+			return int(b[rem])
+		}
+		rem -= int64(len(b))
+	}
+	panic("loadvec: ExternalBinAt index out of range")
+}
+
+// findDiff is fenwick.find over the pointwise difference a−b (all entries
+// of which must be nonnegative): the smallest 0-based index i with
+// Σ_{k≤i}(a−b)(k) > target, plus the remainder within that index. Both
+// trees must have the same size.
+func findDiff(a, b *fenwick, target int64) (int, int64) {
+	pos := 0
+	for step := a.top; step > 0; step >>= 1 {
+		if next := pos + step; next <= a.n {
+			if d := a.tree[next] - b.tree[next]; d <= target {
+				pos = next
+				target -= d
+			}
+		}
+	}
+	return pos, target
+}
+
+// Validate cross-checks every piece of the index against a from-scratch
+// recount of the given reference snapshot (the caller's live stale
+// vector); the reconciliation property tests call it at every barrier.
+func (x *StaleIndex) Validate(stale []int) error {
+	if len(stale) != x.n {
+		return fmt.Errorf("loadvec: StaleIndex over %d bins validated against %d", x.n, len(stale))
+	}
+	total := 0
+	for v := 0; v < x.levels; v++ {
+		for p := 0; p < x.parts; p++ {
+			for i, bin := range x.at[v*x.parts+p] {
+				if stale[bin] != v {
+					return fmt.Errorf("loadvec: bin %d bucketed at level %d, snapshot says %d", bin, v, stale[bin])
+				}
+				if PartitionOwner(x.n, x.parts, int(bin)) != p {
+					return fmt.Errorf("loadvec: bin %d bucketed under part %d", bin, p)
+				}
+				if x.pos[bin] != int32(i) {
+					return fmt.Errorf("loadvec: bin %d pos %d, want %d", bin, x.pos[bin], i)
+				}
+				total++
+			}
+		}
+	}
+	if total != x.n {
+		return fmt.Errorf("loadvec: buckets hold %d bins, want %d", total, x.n)
+	}
+	for v := 0; v < x.levels; v++ {
+		var cnt int64
+		for p := 0; p < x.parts; p++ {
+			c := int64(len(x.at[v*x.parts+p]))
+			cnt += c
+			if got := x.own[p].prefix(v) - x.own[p].prefix(v-1); got != c {
+				return fmt.Errorf("loadvec: own[%d] tree at %d = %d, want %d", p, v, got, c)
+			}
+		}
+		if got := x.gcnt.prefix(v) - x.gcnt.prefix(v-1); got != cnt {
+			return fmt.Errorf("loadvec: gcnt tree at %d = %d, want %d", v, got, cnt)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package loadvec
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// bruteExternal recounts ext_p(w) from the snapshot directly.
+func bruteExternal(stale []int, parts, part, w int) int64 {
+	var c int64
+	for bin, l := range stale {
+		if PartitionOwner(len(stale), parts, bin) != part && l <= w {
+			c++
+		}
+	}
+	return c
+}
+
+func TestStaleIndexFreshMatchesBruteForce(t *testing.T) {
+	r := rng.New(31)
+	for _, parts := range []int{1, 2, 4, 7} {
+		stale := make([]int, 37)
+		for i := range stale {
+			stale[i] = r.Intn(9)
+		}
+		x := NewStaleIndex(stale, parts)
+		if err := x.Validate(stale); err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		for p := 0; p < parts; p++ {
+			for w := -1; w < x.Levels()+2; w++ {
+				if got, want := x.External(p, w), bruteExternal(stale, parts, p, w); got != want {
+					t.Fatalf("parts=%d External(%d, %d) = %d, want %d", parts, p, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStaleIndexMoveMatchesRebuild is the loadvec half of the
+// incremental-vs-full reconciliation property: after any sequence of Move
+// deltas the census must agree with a from-scratch NewStaleIndex of the
+// same snapshot — prefixes, buckets, and the index → bin mapping (as a
+// set; the incremental bucket order may differ).
+func TestStaleIndexMoveMatchesRebuild(t *testing.T) {
+	const n, parts = 41, 4
+	r := rng.New(99)
+	stale := make([]int, n)
+	for i := range stale {
+		stale[i] = r.Intn(5)
+	}
+	x := NewStaleIndex(stale, parts)
+	for step := 0; step < 600; step++ {
+		bin := r.Intn(n)
+		from := stale[bin]
+		to := from + 1
+		switch {
+		case from > 0 && r.Intn(2) == 0:
+			to = from - 1
+		case r.Intn(20) == 0:
+			to = from + 16 // force level growth mid-sequence
+		}
+		stale[bin] = to
+		x.Move(bin, from, to)
+
+		if step%37 != 0 {
+			continue
+		}
+		if err := x.Validate(stale); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		fresh := NewStaleIndex(stale, parts)
+		for p := 0; p < parts; p++ {
+			for w := -1; w < x.Levels()+2; w++ {
+				if got, want := x.External(p, w), fresh.External(p, w); got != want {
+					t.Fatalf("step %d External(%d, %d) = %d, fresh rebuild says %d", step, p, w, got, want)
+				}
+			}
+			// The mapped external population must be exactly the fresh one.
+			w := x.Levels() - 1
+			seen := map[int]bool{}
+			for j := int64(0); j < x.External(p, w); j++ {
+				bin := x.ExternalBinAt(p, w, j)
+				if seen[bin] {
+					t.Fatalf("step %d part %d: ExternalBinAt repeated bin %d", step, p, bin)
+				}
+				seen[bin] = true
+				if PartitionOwner(n, parts, bin) == p {
+					t.Fatalf("step %d part %d: ExternalBinAt returned own bin %d", step, p, bin)
+				}
+			}
+			if int64(len(seen)) != fresh.External(p, w) {
+				t.Fatalf("step %d part %d: mapped %d bins, fresh census counts %d",
+					step, p, len(seen), fresh.External(p, w))
+			}
+		}
+	}
+}
+
+func TestStaleIndexExternalBinAtLevels(t *testing.T) {
+	// Three parts over 9 bins, distinct levels, so every (part, w, j) cell
+	// is enumerable by hand through the brute-force census.
+	stale := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	x := NewStaleIndex(stale, 3)
+	for p := 0; p < 3; p++ {
+		for w := 0; w < 3; w++ {
+			want := bruteExternal(stale, 3, p, w)
+			for j := int64(0); j < want; j++ {
+				bin := x.ExternalBinAt(p, w, j)
+				if stale[bin] > w {
+					t.Fatalf("part %d w=%d j=%d: bin %d has stale %d", p, w, j, bin, stale[bin])
+				}
+				if PartitionOwner(9, 3, bin) == p {
+					t.Fatalf("part %d w=%d j=%d: own bin %d", p, w, j, bin)
+				}
+			}
+		}
+	}
+}
+
+// TestExternalPrefixUpdated pins the delta entry point next to
+// SetExternalPrefix: after the installed prefix's values change on a
+// window [lo, hi], ExternalPrefixUpdated(lo, hi) must leave the external
+// weights exactly as a full SetExternalPrefix reinstall would.
+func TestExternalPrefixUpdated(t *testing.T) {
+	r := rng.New(7)
+	v := OneChoice().Generate(24, 120, r)
+	c := NewConfig(v)
+	c.EnableLevelIndex()
+
+	ext := make([]int64, 64) // mutable prefix table the closure reads through
+	reset := func() {
+		run := int64(0)
+		for w := range ext {
+			run += int64(r.Intn(3))
+			ext[w] = run
+		}
+	}
+	reset()
+	prefix := func(w int) int64 {
+		if w < 0 {
+			return 0
+		}
+		if w >= len(ext) {
+			w = len(ext) - 1
+		}
+		return ext[w]
+	}
+	c.SetExternalPrefix(prefix)
+
+	for step := 0; step < 200; step++ {
+		// Mutate the prefix on a random window, keeping it monotone: add a
+		// constant on a suffix starting inside the window and advertise the
+		// changed cells.
+		lo := r.Intn(len(ext))
+		hi := lo + r.Intn(len(ext)-lo)
+		d := int64(1 + r.Intn(3))
+		for w := lo; w <= hi; w++ {
+			ext[w] += d
+		}
+		for w := hi + 1; w < len(ext); w++ {
+			ext[w] += d // keep monotone past the window
+		}
+		c.ExternalPrefixUpdated(lo, len(ext)-1)
+
+		// Interleave level transitions so count[v] changes mix with prefix
+		// deltas, as they do across a real barrier.
+		if c.M() > 0 && step%3 == 0 {
+			src := 0
+			for c.Load(src) == 0 {
+				src++
+			}
+			dst := (src + 1 + r.Intn(c.N()-1)) % c.N()
+			if dst != src {
+				c.Move(src, dst)
+			}
+		}
+
+		got := c.ExternalMoveWeight()
+		cp := c.Clone()
+		cp.SetExternalPrefix(prefix) // full reinstall = reference
+		if want := cp.ExternalMoveWeight(); got != want {
+			t.Fatalf("step %d: delta-maintained X = %d, full reinstall says %d", step, got, want)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+
+	// A window advertised wider than the indexed level range must clamp,
+	// not panic; and a no-extP index must no-op.
+	c.ExternalPrefixUpdated(-5, 1<<20)
+	c.SetExternalPrefix(nil)
+	c.ExternalPrefixUpdated(0, 3)
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/loadvec"
@@ -75,6 +74,18 @@ import (
 // clock lands on the horizon — so jump shards meet every barrier on the
 // dot, and time-targeted runs (SetHorizon) never overshoot.
 //
+// Barrier reconciliation is incremental: each shard journals the bins it
+// mutates (epoch moves, barrier detach/land/restore), and the barrier
+// replays the journals as deltas against the stale snapshot and the
+// external census — one loadvec.StaleIndex.Move plus an
+// ExternalPrefixUpdated window per peer shard per changed bin,
+// O(changed·P·Δ) total, i.e. O(changed·Δ) at the small constant shard
+// counts in play — instead of recopying the snapshot and rebuilding
+// every table in O(n + P·Δ). A coarse dense epoch that dirties ≳ n/4 bins falls back to
+// the from-scratch rebuild (cheaper at that density); end-game per-move
+// epochs never do, which is what keeps the per-move barrier cost
+// independent of n (BenchmarkShardedJumpEndGame measures it at two sizes).
+//
 // Epochs adapt: in auto mode the epoch length starts at the dense
 // activation-sized epoch and shrinks proportionally to the folded global
 // move weight (FoldedStats.W, reconciled at each barrier) as the move
@@ -103,13 +114,18 @@ type Sharded struct {
 	root   *rng.RNG
 	stale  []int // global loads as of the last reconciliation (filter only)
 
-	// Jump-mode external-destination tables, rebuilt from the stale
-	// snapshot at every barrier (P > 1 only): staleAt buckets the global
-	// bins by stale load in ascending bin order, gcum holds the cumulative
-	// bucket counts. Each shard's extCum subtracts its own bins, giving the
-	// S_s(w) prefix its level index maintains X_s against.
-	staleAt [][]int32
-	gcum    []int64
+	// ext is the jump mode's external-destination census (P > 1 only): the
+	// global bins bucketed by stale level and owning shard, with Fenwick
+	// prefix counts so each shard's S_s(w) prefix — the population its
+	// level index maintains X_s against — is an O(log Δ) query. Built once
+	// (lazily, at the first jump Run), then maintained *incrementally*: at
+	// each barrier the per-shard dirty-bin journals are applied as
+	// bin-level deltas — O(changed·P·Δ) total, one census move plus a
+	// Δ-bounded window refresh per peer shard per changed bin — instead
+	// of rebuilding the tables and recopying the snapshot in O(n + P·Δ):
+	// the difference between end-game per-move barriers costing O(n) per
+	// move and O(P·Δ).
+	ext *loadvec.StaleIndex
 
 	// inline, set per epoch in jump mode, runs the epoch and barrier
 	// phases on the calling goroutine: an end-game epoch holds ~one event,
@@ -150,11 +166,14 @@ type shard struct {
 
 	out chan proposal
 
-	// extCum (jump mode, P > 1) is S_s by level: the cumulative count of
-	// *other* shards' bins by stale load, rebuilt at each barrier. The
-	// shard's level index reads it through the installed external prefix;
-	// externalBinAt maps sampled indices back onto concrete bins.
-	extCum []int64
+	// Dirty journal (jump mode, P > 1): the local bins whose live load may
+	// have drifted from the stale snapshot since the last reconciliation.
+	// Every cfg mutation — epoch moves, barrier detach/land/restore — is
+	// recorded by its owning shard (mark), deduplicated through dirtyMark,
+	// and the journals are drained in shard order at the barrier
+	// (reconcileStale), which keeps the replay deterministic.
+	dirty     []int32
+	dirtyMark []bool
 
 	// Barrier scratch, indexed by peer shard id. inbox[s] is written by
 	// shard s in phase A and read by this shard in phase B; reject[s] is
@@ -163,6 +182,20 @@ type shard struct {
 	// WaitGroups ordering the handover.
 	inbox  [][]handoff
 	reject [][]int32
+}
+
+// mark journals a local bin as dirty: its live load may now differ from
+// the stale snapshot, so the barrier must reconcile it. A no-op outside
+// jump mode (dirtyMark is nil) and for bins already journaled. Only the
+// shard's own goroutine calls it — every cfg mutation is made by the
+// owning shard, in epochs and in all three barrier phases — so the journal
+// needs no synchronization.
+func (sh *shard) mark(local int) {
+	if sh.dirtyMark == nil || sh.dirtyMark[local] {
+		return
+	}
+	sh.dirtyMark[local] = true
+	sh.dirty = append(sh.dirty, int32(local))
 }
 
 // proposal is a cross-shard move candidate: global source and destination
@@ -281,6 +314,9 @@ func newSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG
 		if jump {
 			// Jump shards sample through the level index; no per-ball table.
 			sh.cfg.EnableLevelIndex()
+			if shards > 1 {
+				sh.dirtyMark = make([]bool, hi-lo)
+			}
 		} else {
 			sh.smp = NewBallList()
 			sh.smp.Reset(part)
@@ -414,7 +450,9 @@ func (s *Sharded) AddBall(bin int) {
 	if sh.smp != nil {
 		sh.smp.AddBall(bin - sh.lo)
 	}
-	s.stale[bin]++
+	o := s.stale[bin]
+	s.stale[bin] = o + 1
+	s.staleMoved(sh.id, bin, o, o+1)
 	s.refold()
 }
 
@@ -426,10 +464,36 @@ func (s *Sharded) RemoveBall(bin int) {
 	if sh.smp != nil {
 		sh.smp.RemoveBall(bin - sh.lo)
 	}
-	if s.stale[bin] > 0 {
-		s.stale[bin]--
+	if o := s.stale[bin]; o > 0 {
+		s.stale[bin] = o - 1
+		s.staleMoved(sh.id, bin, o, o-1)
 	}
 	s.refold()
+}
+
+// staleMoved propagates one bin's stale-level change (from → to, already
+// written to s.stale by the caller) into the jump mode's external tables:
+// the census moves the bin between level buckets in O(P + log Δ), and
+// every *other* shard's level index refreshes its external weights on
+// exactly the window the change dirtied — ext(w) moved only for
+// w ∈ [min, max−1], so x[v] = v·count[v]·ext(v−1) moved only for
+// v ∈ [min+1, max]. The owning shard's prefix is untouched: its own bin
+// cancels out of the gcnt−own difference. A no-op until the census exists
+// (first jump Run builds it).
+func (s *Sharded) staleMoved(owner, bin, from, to int) {
+	if s.ext == nil {
+		return
+	}
+	s.ext.Move(bin, from, to)
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for _, peer := range s.shards {
+		if peer.id != owner {
+			peer.cfg.ExternalPrefixUpdated(lo, hi-1)
+		}
+	}
 }
 
 // RandomBin returns the bin of a uniformly random ball without advancing
@@ -488,9 +552,12 @@ func (s *Sharded) run(stop ShardedStop, maxActivations, every int64, traced bool
 		maxActivations = DefaultActivationBudget
 	}
 	if s.jump && s.p > 1 {
-		// Churn may have drifted the stale snapshot since the last barrier;
-		// refresh the external tables (and the folded W they feed) first.
-		s.rebuildExternal()
+		if s.ext == nil {
+			// First jump Run: build the external census from scratch. From
+			// here on churn (staleMoved) and barriers (reconcileStale) keep it
+			// current incrementally, so later Runs start with live tables.
+			s.rebuildExternal()
+		}
 		s.refold()
 	}
 	s.w0 = 0
@@ -833,9 +900,11 @@ func (s *Sharded) runShardEpochJump(sh *shard, end float64) {
 			src, dst := sh.cfg.SampleMovePair(sh.r)
 			sh.cfg.Move(src, dst)
 			sh.moves++
+			sh.mark(src)
+			sh.mark(dst)
 		} else {
 			src, j := sh.cfg.SampleExternalMove(sh.r)
-			dst := s.externalBinAt(sh, sh.cfg.Load(src)-1, j)
+			dst := s.ext.ExternalBinAt(sh.id, sh.cfg.Load(src)-1, j)
 			sh.out <- proposal{int32(sh.lo + src), int32(dst)}
 			sh.proposed++
 			if sent++; sent >= budget {
@@ -845,91 +914,65 @@ func (s *Sharded) runShardEpochJump(sh *shard, end float64) {
 	}
 }
 
-// rebuildExternal rebuilds the jump mode's external-destination tables
-// from the stale snapshot (single-threaded, inside the barrier): the
-// global staleAt buckets and gcum prefix, each shard's complement prefix
-// extCum, and the external prefix its level index maintains X_s against.
-// O(n + P·Δ) — the same order as the barrier's existing stale refresh.
+// rebuildExternal builds the jump mode's external census from the stale
+// snapshot from scratch — O(n + P·Δ) — and installs each shard's external
+// prefix on its level index (a full X_s recompute per shard). This is the
+// reference reconciliation: it runs once at the first jump Run and as the
+// dense-phase fallback of reconcileStale; end-game barriers take the
+// incremental path instead.
 func (s *Sharded) rebuildExternal() {
-	maxStale := 0
-	for _, l := range s.stale {
-		if l > maxStale {
-			maxStale = l
-		}
-	}
-	levels := maxStale + 1
-	for len(s.staleAt) < levels {
-		s.staleAt = append(s.staleAt, nil)
-	}
-	s.staleAt = s.staleAt[:levels]
-	for u := range s.staleAt {
-		s.staleAt[u] = s.staleAt[u][:0]
-	}
-	// Bins are scanned in ascending order, so every bucket is sorted by bin
-	// id — externalBinAt's run-splitting relies on this.
-	for bin, l := range s.stale {
-		s.staleAt[l] = append(s.staleAt[l], int32(bin))
-	}
-	if cap(s.gcum) < levels {
-		s.gcum = make([]int64, levels)
-	}
-	s.gcum = s.gcum[:levels]
-	run := int64(0)
-	for u, lst := range s.staleAt {
-		run += int64(len(lst))
-		s.gcum[u] = run
-	}
+	s.ext = loadvec.NewStaleIndex(s.stale, s.p)
 	for _, sh := range s.shards {
-		if cap(sh.extCum) < levels {
-			sh.extCum = make([]int64, levels)
-		}
-		sh.extCum = sh.extCum[:levels]
-		for u := range sh.extCum {
-			sh.extCum[u] = 0
-		}
-		for _, l := range s.stale[sh.lo:sh.hi] {
-			sh.extCum[l]++
-		}
-		own := int64(0)
-		for u := range sh.extCum {
-			own += sh.extCum[u]
-			sh.extCum[u] = s.gcum[u] - own
-		}
-		ext := sh.extCum
-		sh.cfg.SetExternalPrefix(func(w int) int64 {
-			if w < 0 {
-				return 0
-			}
-			if w >= len(ext) {
-				w = len(ext) - 1
-			}
-			return ext[w]
-		})
+		id := sh.id
+		// The closure reads through s.ext, so replacing the census on a later
+		// rebuild keeps every installed prefix current automatically.
+		sh.cfg.SetExternalPrefix(func(w int) int64 { return s.ext.External(id, w) })
 	}
 }
 
-// externalBinAt maps a uniform index j over shard sh's external bins with
-// stale load ≤ w (the index SampleExternalMove hands back) onto the
-// concrete global bin: binary-search the level through extCum, then split
-// the sorted bucket around the shard's own contiguous bin range.
-func (s *Sharded) externalBinAt(sh *shard, w int, j int64) int {
-	ext := sh.extCum
-	if w >= len(ext) {
-		w = len(ext) - 1
+// reconcileThreshold is the dirty-bin fraction above which the barrier
+// falls back to the from-scratch rebuild: with ~n/4 bins changed the
+// incremental replay's per-bin Fenwick work costs more than one O(n + P·Δ)
+// scan. Dense-phase coarse epochs hit the fallback, end-game per-move
+// epochs (a handful of dirty bins) never do.
+const reconcileThreshold = 4
+
+// reconcileStale brings the stale snapshot and the external census back in
+// sync with the live loads at a barrier, incrementally: the per-shard
+// dirty-bin journals are drained in shard order (deterministic replay) and
+// each genuinely changed bin costs one census move plus an
+// ExternalPrefixUpdated window per peer shard — O(changed·P·Δ) total,
+// versus the O(n + P·Δ) full rebuild every barrier used to pay, which at
+// end-game per-move epochs meant O(n) per move. Bins that round-tripped inside the barrier
+// (detached then restored, or moved and moved back) reconcile to a no-op.
+func (s *Sharded) reconcileStale() {
+	dirty := 0
+	for _, sh := range s.shards {
+		dirty += len(sh.dirty)
 	}
-	u := sort.Search(w+1, func(i int) bool { return ext[i] > j })
-	var base int64
-	if u > 0 {
-		base = ext[u-1]
+	if s.ext == nil || dirty*reconcileThreshold >= s.n {
+		for _, sh := range s.shards {
+			for _, lb := range sh.dirty {
+				sh.dirtyMark[lb] = false
+			}
+			sh.dirty = sh.dirty[:0]
+			copy(s.stale[sh.lo:sh.hi], sh.cfg.Loads())
+		}
+		s.rebuildExternal()
+		return
 	}
-	bucket := s.staleAt[u]
-	i := int(j - base)
-	run := sort.Search(len(bucket), func(k int) bool { return int(bucket[k]) >= sh.lo })
-	if i < run {
-		return int(bucket[i])
+	for _, sh := range s.shards {
+		for _, lb := range sh.dirty {
+			sh.dirtyMark[lb] = false
+			g := sh.lo + int(lb)
+			l := sh.cfg.Load(int(lb))
+			if o := s.stale[g]; o != l {
+				s.stale[g] = l
+				s.staleMoved(sh.id, g, o, l)
+			}
+		}
+		sh.dirty = sh.dirty[:0]
 	}
-	ownCount := len(bucket) - int(ext[u]-base)
-	return int(bucket[i+ownCount])
 }
 
 // barrier drains the proposal queues in three deterministic parallel
@@ -952,6 +995,7 @@ func (s *Sharded) barrier() {
 					if sh.smp != nil {
 						sh.smp.RemoveBall(src)
 					}
+					sh.mark(src)
 					dst := s.shards[s.owner(int(p.dst))]
 					dst.inbox[sh.id] = append(dst.inbox[sh.id],
 						handoff{p.src, p.dst - int32(dst.lo), int32(ld)})
@@ -975,6 +1019,7 @@ func (s *Sharded) barrier() {
 					if sh.smp != nil {
 						sh.smp.AddBall(dst)
 					}
+					sh.mark(dst)
 					applied[sh.id]++
 				} else {
 					sh.reject[from] = append(sh.reject[from], h.srcGlobal)
@@ -985,7 +1030,9 @@ func (s *Sharded) barrier() {
 	})
 	// Phase C — restore refused balls at their source (no observable
 	// state ever saw them gone: all three phases are inside one barrier),
-	// then refresh this shard's slice of the stale snapshot.
+	// then refresh this shard's slice of the stale snapshot. Jump mode
+	// defers the refresh to reconcileStale below, which replays only the
+	// journaled dirty bins instead of recopying the whole range.
 	s.parallel(func(sh *shard) {
 		for _, peer := range s.shards {
 			for _, g := range peer.reject[sh.id] {
@@ -994,10 +1041,13 @@ func (s *Sharded) barrier() {
 				if sh.smp != nil {
 					sh.smp.AddBall(l)
 				}
+				sh.mark(l)
 			}
 			peer.reject[sh.id] = peer.reject[sh.id][:0]
 		}
-		copy(s.stale[sh.lo:sh.hi], sh.cfg.Loads())
+		if !s.jump {
+			copy(s.stale[sh.lo:sh.hi], sh.cfg.Loads())
+		}
 	})
 
 	// Reconcile: fold counters and histogram extremes into the global view.
@@ -1019,9 +1069,10 @@ func (s *Sharded) barrier() {
 	s.crossProposed = proposed
 	s.time = maxT
 	if s.jump {
-		// The stale snapshot just moved: refresh the external tables before
-		// refolding so FoldedStats.W (the adaptive epoch signal) is current.
-		s.rebuildExternal()
+		// The live loads just moved: reconcile the stale snapshot and the
+		// external census from the dirty journals before refolding, so
+		// FoldedStats.W (the adaptive epoch signal) is current.
+		s.reconcileStale()
 	}
 	s.refold()
 }

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// TestShardedJumpIncrementalReconciliation is the incremental-vs-full
+// reconciliation property test: it interleaves protocol moves (epochs),
+// churn (AddBall/RemoveBall between runs), and barriers, and at *every*
+// barrier asserts that the delta-maintained state — the stale snapshot,
+// the StaleIndex census buckets and prefix trees, and each shard level
+// index's external weights — is identical to what a from-scratch
+// rebuildExternal would produce. Fine fixed epochs keep barriers frequent
+// with only a handful of dirty bins each (the incremental path); the
+// post-churn bursts near the dense start cross the reconcileThreshold
+// fallback, so both reconciliation paths are exercised.
+func TestShardedJumpIncrementalReconciliation(t *testing.T) {
+	const n, m, p = 48, 330, 4
+	r := rng.New(123)
+	v := loadvec.OneChoice().Generate(n, m, r)
+	s := NewShardedJump(v, p, 0.02, r)
+
+	barriers := 0
+	s.PostCheck = func(s *Sharded) {
+		if s.ext == nil {
+			return
+		}
+		barriers++
+		// The snapshot must equal the live loads bin for bin: reconcileStale
+		// replayed every journaled change (and nothing else drifted).
+		live := s.Snapshot()
+		for bin := range live {
+			if s.stale[bin] != live[bin] {
+				t.Fatalf("barrier %d: stale[%d] = %d, live %d", barriers, bin, s.stale[bin], live[bin])
+			}
+		}
+		// The census's buckets, positions, and count trees must validate
+		// against the snapshot.
+		if err := s.ext.Validate(s.stale); err != nil {
+			t.Fatalf("barrier %d: %v", barriers, err)
+		}
+		// Delta-maintained external prefixes must equal a from-scratch
+		// rebuild of the census, for every shard at every level.
+		fresh := loadvec.NewStaleIndex(s.stale, s.p)
+		for _, sh := range s.shards {
+			for w := -1; w <= s.ext.Levels()+1; w++ {
+				if got, want := s.ext.External(sh.id, w), fresh.External(sh.id, w); got != want {
+					t.Fatalf("barrier %d shard %d: External(%d) = %d, rebuild says %d",
+						barriers, sh.id, w, got, want)
+				}
+			}
+			// Each shard's ExternalPrefixUpdated-refreshed weights (the xw
+			// tree behind X_s) must match the live prefix: Validate recomputes
+			// every x[v] from extP from scratch.
+			if err := sh.cfg.Validate(); err != nil {
+				t.Fatalf("barrier %d shard %d: %v", barriers, sh.id, err)
+			}
+		}
+	}
+
+	churn := rng.New(321)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 6; i++ {
+			switch churn.Intn(3) {
+			case 0:
+				s.AddBall(churn.Intn(n))
+			case 1:
+				if s.M() > 1 {
+					s.RemoveBall(s.RandomBin())
+				}
+			default:
+				s.AddBall(churn.Intn(n))
+				if s.M() > 1 {
+					s.RemoveBall(s.RandomBin())
+				}
+			}
+		}
+		end := s.Time() + 0.3
+		s.SetHorizon(end)
+		s.Run(ShardedUntilTime(end), 0)
+		s.SetHorizon(0)
+	}
+	if barriers < 100 {
+		t.Fatalf("only %d barriers checked — the property never ran", barriers)
+	}
+}
+
+// TestShardedJumpReconcileJournalsDrain pins the journal bookkeeping:
+// after a run every dirty journal is empty and every mark cleared, so
+// state cannot leak between runs or accumulate across a session.
+func TestShardedJumpReconcileJournalsDrain(t *testing.T) {
+	s := shardedJumpFrom(40, 320, 4, 0, 17)
+	s.Run(ShardedUntilPerfect(), 0)
+	for _, sh := range s.shards {
+		if len(sh.dirty) != 0 {
+			t.Fatalf("shard %d: %d journal entries left after the final barrier", sh.id, len(sh.dirty))
+		}
+		for lb, marked := range sh.dirtyMark {
+			if marked {
+				t.Fatalf("shard %d: bin %d still marked dirty", sh.id, lb)
+			}
+		}
+	}
+	if err := s.ext.Validate(s.stale); err != nil {
+		t.Fatal(err)
+	}
+}

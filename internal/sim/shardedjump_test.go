@@ -186,13 +186,15 @@ func TestShardedJumpChurn(t *testing.T) {
 	}
 }
 
-// TestShardedJumpExternalTables cross-checks the barrier-built external
-// tables against a brute-force recount of the stale snapshot, and the
-// sampled-index → bin mapping against the exact external population.
+// TestShardedJumpExternalTables cross-checks the barrier-maintained
+// external census against a brute-force recount of the stale snapshot,
+// and the sampled-index → bin mapping against the exact external
+// population — after a run whose barriers maintained the census
+// incrementally, not just after a fresh build.
 func TestShardedJumpExternalTables(t *testing.T) {
 	s := shardedJumpFrom(33, 220, 4, 0, 5)
-	// A short run populates non-trivial stale state, then the final barrier
-	// leaves freshly built tables.
+	// A short run populates non-trivial stale state; its end-game barriers
+	// reconcile the census through the dirty-bin journals.
 	s.Run(ShardedUntilBalanced(2), 0)
 	for _, sh := range s.shards {
 		maxStale := 0
@@ -210,20 +212,20 @@ func TestShardedJumpExternalTables(t *testing.T) {
 					external[bin] = true
 				}
 			}
-			if got := sh.extCum[w]; got != want {
-				t.Fatalf("shard %d extCum[%d] = %d, want %d", sh.id, w, got, want)
+			if got := s.ext.External(sh.id, w); got != want {
+				t.Fatalf("shard %d External(%d) = %d, want %d", sh.id, w, got, want)
 			}
 			// Every index below the prefix must map onto a distinct external
 			// bin with stale load ≤ w.
 			seen := map[int]bool{}
 			for j := int64(0); j < want; j++ {
-				bin := s.externalBinAt(sh, w, j)
+				bin := s.ext.ExternalBinAt(sh.id, w, j)
 				if !external[bin] {
-					t.Fatalf("shard %d externalBinAt(%d, %d) = %d: not external with stale ≤ %d",
+					t.Fatalf("shard %d ExternalBinAt(%d, %d) = %d: not external with stale ≤ %d",
 						sh.id, w, j, bin, w)
 				}
 				if seen[bin] {
-					t.Fatalf("shard %d externalBinAt(%d, ·) repeated bin %d", sh.id, w, bin)
+					t.Fatalf("shard %d ExternalBinAt(%d, ·) repeated bin %d", sh.id, w, bin)
 				}
 				seen[bin] = true
 			}

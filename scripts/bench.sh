@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh runs the perf-trajectory benchmark suite and writes the results
-# as JSON (default BENCH_PR4.json) so successive PRs can track the hot
+# as JSON (default BENCH_PR5.json) so successive PRs can track the hot
 # paths: whole-run balancing cost (BenchmarkBalanceToPerfection), the
 # direct-vs-jump end-game comparison (BenchmarkEndGame), live churn
 # (BenchmarkSessionChurn), the direct-vs-sharded dense regime
@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR4.json}
+out=${1:-BENCH_PR5.json}
 benchtime=${BENCHTIME:-3x}
 pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse)$'
 
