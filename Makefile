@@ -18,8 +18,10 @@ lint:
 race:
 	go test -race ./...
 
-# bench regenerates BENCH_PR5.json, the perf trajectory tracked per PR
-# (balancing runs, direct-vs-jump end-game, session churn, direct-vs-
-# sharded dense regime, and the sharded-jump composition benches).
+# bench regenerates BENCH_PR6.json, the perf trajectory tracked per PR
+# (balancing runs, direct-vs-jump end-game — plain, strict tie rule, and
+# graph topologies — session churn, direct-vs-sharded dense regime, and
+# the sharded-jump composition benches). compare_bench.sh diffs the two
+# latest tracked files.
 bench:
 	./scripts/bench.sh

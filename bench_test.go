@@ -66,6 +66,8 @@ func BenchmarkExpA3(b *testing.B)   { benchExperiment(b, "A3") }
 func BenchmarkExpA4(b *testing.B)   { benchExperiment(b, "A4") }
 func BenchmarkExpA5(b *testing.B)   { benchExperiment(b, "A5") }
 func BenchmarkExpA6(b *testing.B)   { benchExperiment(b, "A6") }
+func BenchmarkExpA7(b *testing.B)   { benchExperiment(b, "A7") }
+func BenchmarkExpA8(b *testing.B)   { benchExperiment(b, "A8") }
 func BenchmarkExpO1(b *testing.B)   { benchExperiment(b, "O1") }
 
 // BenchmarkBalanceToPerfection measures whole-run cost of the public API
@@ -111,6 +113,93 @@ func BenchmarkEndGame(b *testing.B) {
 				var totalActs, totalMoves int64
 				for i := 0; i < b.N; i++ {
 					res, err := New(n, n, WithSeed(uint64(i)+1), WithEngineMode(mode)).Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Reached {
+						b.Fatal("did not balance")
+					}
+					totalActs += res.Activations
+					totalMoves += res.Moves
+				}
+				b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+				b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+			})
+		}
+	}
+}
+
+// BenchmarkStrictEndGame is BenchmarkEndGame under the strict tie rule:
+// n = m from the all-in-one start, run to perfection (W' = 0 ⟺ perfect),
+// strict-direct vs strict-jump. The strict rule rejects neutral moves on
+// top of uphill ones, so the direct engine wastes even more activations
+// per move than plain RLS in the end-game; the jump engine simulates the
+// same chain in O(moves) regardless. The jump/direct wall-clock ratio is
+// a PR 6 headline number tracked in BENCH_PR6.json.
+func BenchmarkStrictEndGame(b *testing.B) {
+	const n = 4096
+	for _, mode := range []EngineMode{DirectEngine, JumpEngine} {
+		b.Run(fmt.Sprintf("n=m=%d/%s", n, mode), func(b *testing.B) {
+			var totalActs, totalMoves int64
+			for i := 0; i < b.N; i++ {
+				res, err := New(n, n, WithSeed(uint64(i)+1), WithStrictTieRule(), WithEngineMode(mode)).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Reached {
+					b.Fatal("did not balance")
+				}
+				totalActs += res.Activations
+				totalMoves += res.Moves
+			}
+			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+			b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+		})
+	}
+}
+
+// BenchmarkGraphEndGame measures the graph end-game at n = m = 4096 on
+// ring, torus, and hypercube: a near-balanced start with one overloaded
+// bin at 0 and one hole a graph distance away, run to perfection. The
+// excess ball must diffuse to the hole along the graph; with k = 1 bins
+// below average the direct engine burns ~Δ·n/W_G ≈ n activations per
+// move while the jump engine pays O(Δ² + Δ·log n) — this is the regime
+// where graph runs used to fall back to the direct engine and end-games
+// dominated wall-clock. The jump/direct wall-clock ratio per topology is
+// a PR 6 headline number tracked in BENCH_PR6.json.
+func BenchmarkGraphEndGame(b *testing.B) {
+	const n = 4096
+	// One ball high at bin 0, one hole at a fixed graph distance: ring
+	// distance 8 (E[moves] ≈ d·(n−d) by gambler's ruin — distance kept
+	// short so the direct leg stays tractable), torus (8,8), hypercube
+	// antipode (distance 12).
+	topos := []struct {
+		name string
+		t    Topology
+		hole int
+	}{
+		{"ring", RingTopology(), 8},
+		{"torus", TorusTopology(64), 8*64 + 8},
+		{"hypercube", HypercubeTopology(12), n - 1},
+	}
+	for _, tp := range topos {
+		loads := make([]int, n)
+		for i := range loads {
+			loads[i] = 1
+		}
+		loads[0] = 2
+		loads[tp.hole] = 0
+		for _, mode := range []EngineMode{DirectEngine, JumpEngine} {
+			b.Run(fmt.Sprintf("%s/%s", tp.name, mode), func(b *testing.B) {
+				var totalActs, totalMoves int64
+				for i := 0; i < b.N; i++ {
+					res, err := New(n, n,
+						WithSeed(uint64(i)+1),
+						WithPlacement(FromLoads(loads)),
+						WithTopology(tp.t),
+						WithEngineMode(mode),
+						WithActivationBudget(100_000_000_000),
+					).Run()
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -352,7 +441,7 @@ func TestBenchmarkIDsMatchRegistry(t *testing.T) {
 	have := []string{
 		"F1", "F2", "F3", "T1", "T2", "LB1", "LB2", "DML",
 		"P1", "P2", "P3", "L8", "L9", "L16", "CMP1", "CMP2", "CMP3",
-		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "A6", "O1",
+		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "O1",
 	}
 	if len(have) != len(want) {
 		t.Fatalf("bench list has %d, registry %d", len(have), len(want))

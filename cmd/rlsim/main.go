@@ -9,8 +9,11 @@
 //	rlsim -n 16 -m 160 -speeds bimodal
 //	rlsim -n 32 -m 320 -strict -target disc=2
 //	rlsim -n 4096 -m 4096 -engine jump
+//	rlsim -n 4096 -m 4096 -engine jump -strict
+//	rlsim -n 4096 -m 4096 -engine jump -topology torus
 //	rlsim -n 65536 -m 65536 -placement random -engine sharded -shards 4 -target time=8
 //	rlsim -n 4096 -m 16384 -placement random -engine shardedjump -shards 4
+//	rlsim -n 4096 -m 4096 -engine jump -cpuprofile cpu.pprof
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,6 +45,8 @@ func main() {
 		trace     = flag.Int64("trace", 0, "print a trace point every K activations (0 = off)")
 		plot      = flag.Bool("plot", true, "render initial/final configurations as ASCII bars")
 		csv       = flag.Bool("csv", false, "emit the trace as CSV instead of a table (implies -trace)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprof   = flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -53,10 +60,49 @@ func main() {
 	if *csv && *trace <= 0 {
 		*trace = 100
 	}
-	if err := run(*n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *shards, *strict, *trace, *plot && !*csv, *csv); err != nil {
+	err := withProfiles(*cpuprof, *memprof, func() error {
+		return run(*n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *shards, *strict, *trace, *plot && !*csv, *csv)
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles wraps f with optional pprof collection: the CPU profile
+// covers exactly the run, and the heap profile snapshots live allocations
+// after it (post-GC, so the engine's retained structures dominate, not
+// garbage). Profiles are flushed before this returns — os.Exit in main
+// happens after — so hot-loop work can be profiled without editing code:
+//
+//	go tool pprof cpu.pprof
+func withProfiles(cpuprof, memprof string, f func() error) error {
+	if cpuprof != "" {
+		cf, err := os.Create(cpuprof)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if memprof != "" {
+		mf, err := os.Create(memprof)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(n, m int, seed uint64, placement, target, topology, speeds, engine string, shards int, strict bool, trace int64, plot, csv bool) error {

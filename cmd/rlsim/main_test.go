@@ -58,12 +58,17 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"bad topology", "random", "perfect", "nope", "", "direct"},
 		{"bad speeds", "random", "perfect", "complete", "nope", "direct"},
 		{"bad engine", "random", "perfect", "complete", "", "nope"},
-		{"jump+topology", "random", "perfect", "ring", "", "jump"},
+		{"jump+speeds", "random", "perfect", "complete", "uniform", "jump"},
 	}
 	for _, c := range cases {
 		if err := run(8, 32, 1, c.placement, c.target, c.topology, c.speeds, c.engine, 0, false, 0, false, false); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
+	}
+	// strict + topology is rejected in every engine mode (the run helper
+	// threads strict as its own bool, so it gets its own case).
+	if err := run(8, 32, 1, "random", "perfect", "ring", "", "direct", 0, true, 0, false, false); err == nil {
+		t.Error("strict+topology: accepted")
 	}
 }
 
@@ -73,6 +78,14 @@ func TestRunJumpEngine(t *testing.T) {
 	}
 	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", 0, false, 10, false, true); err != nil {
 		t.Errorf("jump trace: %v", err)
+	}
+	if err := run(8, 32, 1, "all-in-one", "perfect", "complete", "", "jump", 0, true, 0, false, false); err != nil {
+		t.Errorf("jump strict: %v", err)
+	}
+	for _, topo := range []string{"ring", "torus", "hypercube"} {
+		if err := run(16, 64, 1, "all-in-one", "perfect", topo, "", "jump", 0, false, 0, false, false); err != nil {
+			t.Errorf("jump %s: %v", topo, err)
+		}
 	}
 }
 

@@ -36,6 +36,15 @@
 //     each step skips a Geometric(W/(m·n)) block of null activations,
 //     advances time by the matching Gamma(k, m) gap, and samples the
 //     productive (src, dst) pair exactly. Cost is O(log Δ) per move.
+//     Two protocol variants ride the same machinery: the strict (>) tie
+//     rule swaps in the shifted move weight W′ = Σ_v v·count[v]·C(v−2)
+//     (same index, eligible destinations two levels down; gate A7), and
+//     regular graph topologies maintain a per-source admissible-
+//     neighbor count so the eventful probability becomes W_G/(m·Δ_G)
+//     and pair sampling walks a bin-indexed Fenwick tree plus one
+//     neighborhood scan — O(Δ_G² + Δ_G·log n) per move (gate A8).
+//     Strict + topology together is rejected: the graph processes in
+//     the literature use the plain rule.
 //   - ShardedEngine partitions the bins into WithShards contiguous
 //     ranges, each simulated by its own goroutine worker with a private
 //     configuration, sampler, and deterministically split RNG stream —
@@ -74,8 +83,9 @@
 //
 // Direct and jump induce the identical law on every quantity observed at
 // moves — balancing times, phase-crossing times, move counts, final
-// configurations, and the activation counter (experiment A4 KS-tests the
-// balancing-time distributions; run `go test -bench ExpA4`). They are not
+// configurations, and the activation counter (experiments A4/A7/A8
+// KS-test the balancing-time distributions for the plain, strict, and
+// graph variants; run `go test -bench ExpA4`). They are not
 // byte-identical streams: the jump engine draws different random numbers.
 // The only observable difference is granularity between moves: direct
 // runs can trace or stop at any activation, jump runs only at moves, so
@@ -105,21 +115,26 @@
 //     work dominates and parallelizes across P workers (≥ P hardware
 //     threads needed; BenchmarkShardedDense tracks the speedup).
 //   - sparse/end-game (m ≈ n, mostly null activations): JumpEngine —
-//     nothing to parallelize, everything to skip.
+//     nothing to parallelize, everything to skip. This now includes
+//     strict-tie and ring/torus/hypercube end-games
+//     (BenchmarkStrictEndGame, BenchmarkGraphEndGame).
 //   - whole runs crossing regimes (dense start, converged tail), or
 //     long-lived sessions alternating churn bursts with quiet stretches:
 //     ShardedJumpEngine — adaptive epochs slide between the two
 //     (BenchmarkShardedJumpDenseToSparse tracks it; it simulates fewer
 //     activations than ShardedEngine on the same span and its event
 //     work parallelizes across the shards).
-//   - strict tie rule, graph topologies, heterogeneous speeds, exact
-//     per-activation trajectories: DirectEngine, the only mode that
-//     supports every option.
+//   - heterogeneous speeds or exact per-activation trajectories:
+//     DirectEngine, the only mode that supports every option.
 //
 // Shards × engine-mode composition matrix: WithShards composes with
 // ShardedEngine (per-activation shards) and ShardedJumpEngine
 // (rejection-free shards); DirectEngine and JumpEngine are their P = 1
-// sequential bases. Every cell of the matrix is now filled.
+// sequential bases. Every cell of the matrix is now filled. Along the
+// protocol-variant axis, DirectEngine accepts everything (strict tie
+// rule, topologies, speeds); JumpEngine accepts the strict tie rule
+// and regular topologies (not together, and not speeds); the sharded
+// modes run plain RLS on the complete topology only.
 //
 // The experiment suite reproducing every figure and claim of the paper
 // lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and
@@ -127,5 +142,5 @@
 // enumerates it; cmd/README.md documents the tools). README.md is the
 // project front door — quickstart, the engine-mode matrix, the examples
 // tour, and the benchmark methodology. `make bench` regenerates
-// BENCH_PR5.json, the tracked perf trajectory.
+// BENCH_PR6.json, the tracked perf trajectory.
 package rls

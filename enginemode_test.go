@@ -37,21 +37,24 @@ func TestOptionValidationErrorMessages(t *testing.T) {
 		r    *Runner
 		want string
 	}{
-		{"jump+strict", New(16, 64, WithEngineMode(JumpEngine), WithStrictTieRule()),
-			"rls: the jump engine supports only plain RLS on the complete topology"},
-		{"jump+topology", New(16, 64, WithEngineMode(JumpEngine), WithTopology(RingTopology())),
-			"rls: the jump engine supports only plain RLS on the complete topology"},
+		// Strict ties and regular topologies are jump-legal since PR 6; what
+		// remains rejected is speeds, strict-on-a-topology, irregular
+		// graphs, and the sampler override.
+		{"jump+strict+topology", New(16, 64, WithEngineMode(JumpEngine), WithStrictTieRule(), WithTopology(RingTopology())),
+			"rls: strict tie rule on a topology is not supported"},
 		{"jump+speeds", New(16, 64, WithEngineMode(JumpEngine), WithSpeeds(make([]float64, 16))),
-			"rls: the jump engine supports only plain RLS on the complete topology"},
+			"rls: the jump engine does not support bin speeds; use DirectEngine"},
+		{"jump+torus mismatch", New(16, 64, WithEngineMode(JumpEngine), WithTopology(TorusTopology(3))),
+			"rls: torus side 3 does not match n=16"},
 		{"jump+fenwick", New(16, 64, WithEngineMode(JumpEngine), WithFenwickEngine()),
 			"rls: the jump engine has no activation sampler; drop WithFenwickEngine"},
 
 		{"sharded+strict", New(16, 64, WithEngineMode(ShardedEngine), WithStrictTieRule()),
-			"rls: the sharded engine supports only plain RLS on the complete topology"},
+			"rls: the sharded engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two"},
 		{"sharded+topology", New(16, 64, WithEngineMode(ShardedEngine), WithTopology(RingTopology())),
-			"rls: the sharded engine supports only plain RLS on the complete topology"},
+			"rls: the sharded engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two"},
 		{"sharded+speeds", New(16, 64, WithEngineMode(ShardedEngine), WithSpeeds(make([]float64, 16))),
-			"rls: the sharded engine supports only plain RLS on the complete topology"},
+			"rls: the sharded engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two"},
 		{"sharded+fenwick", New(16, 64, WithEngineMode(ShardedEngine), WithFenwickEngine()),
 			"rls: the sharded engine owns per-shard ball lists; drop WithFenwickEngine"},
 		{"sharded+negative shards", New(16, 64, WithEngineMode(ShardedEngine), WithShards(-2)),
@@ -60,11 +63,11 @@ func TestOptionValidationErrorMessages(t *testing.T) {
 			"rls: negative shard epoch -1"},
 
 		{"shardedjump+strict", New(16, 64, WithEngineMode(ShardedJumpEngine), WithStrictTieRule()),
-			"rls: the shardedjump engine supports only plain RLS on the complete topology"},
+			"rls: the shardedjump engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two"},
 		{"shardedjump+topology", New(16, 64, WithEngineMode(ShardedJumpEngine), WithTopology(RingTopology())),
-			"rls: the shardedjump engine supports only plain RLS on the complete topology"},
+			"rls: the shardedjump engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two"},
 		{"shardedjump+speeds", New(16, 64, WithEngineMode(ShardedJumpEngine), WithSpeeds(make([]float64, 16))),
-			"rls: the shardedjump engine supports only plain RLS on the complete topology"},
+			"rls: the shardedjump engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two"},
 		{"shardedjump+fenwick", New(16, 64, WithEngineMode(ShardedJumpEngine), WithFenwickEngine()),
 			"rls: the shardedjump engine owns per-shard ball lists; drop WithFenwickEngine"},
 		{"shardedjump+negative shards", New(16, 64, WithEngineMode(ShardedJumpEngine), WithShards(-2)),
@@ -88,6 +91,124 @@ func TestOptionValidationErrorMessages(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestJumpAcceptsStrictAndTopology pins the PR 6 legalization: the
+// strict tie rule and regular graph topologies now run in jump mode
+// (they used to be rejection branches in the table above) and balance.
+func TestJumpAcceptsStrictAndTopology(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"strict", []Option{WithStrictTieRule()}},
+		{"ring", []Option{WithTopology(RingTopology())}},
+		{"torus", []Option{WithTopology(TorusTopology(4))}},
+		{"hypercube", []Option{WithTopology(HypercubeTopology(4))}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			opts := append([]Option{WithSeed(7), WithEngineMode(JumpEngine)}, c.opts...)
+			res, err := New(16, 64, opts...).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Reached {
+				t.Fatal("did not balance")
+			}
+			if res.Disc >= 1 {
+				t.Fatalf("final disc = %g", res.Disc)
+			}
+			if res.Moves >= res.Activations {
+				t.Fatalf("moves %d not below activations %d", res.Moves, res.Activations)
+			}
+			// RunTraced shares the builders: same legality, and the trace
+			// still closes on the run's final state.
+			res2, trace, err := New(16, 64, opts...).RunTraced(50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if last := trace[len(trace)-1]; last.Activations != res2.Activations {
+				t.Errorf("final trace point at %d activations, run ended at %d", last.Activations, res2.Activations)
+			}
+		})
+	}
+}
+
+// TestSessionStrictAndTopologyModes drives churn through the new session
+// options in both direct and jump modes.
+func TestSessionStrictAndTopologyModes(t *testing.T) {
+	for _, mode := range []EngineMode{DirectEngine, JumpEngine} {
+		for _, c := range []struct {
+			name string
+			opts []SessionOption
+		}{
+			{"strict", []SessionOption{WithSessionStrictTieRule()}},
+			{"ring", []SessionOption{WithSessionTopology(RingTopology())}},
+			{"hypercube", []SessionOption{WithSessionTopology(HypercubeTopology(4))}},
+		} {
+			c := c
+			t.Run(mode.String()+"/"+c.name, func(t *testing.T) {
+				opts := append([]SessionOption{WithSessionEngineMode(mode)}, c.opts...)
+				s := NewSession(16, 11, opts...)
+				for i := 0; i < 96; i++ {
+					s.AddBallRandom()
+				}
+				if ok, err := s.RunUntilPerfect(50_000_000); err != nil || !ok {
+					t.Fatalf("balance failed: %v", err)
+				}
+				for i := 0; i < 24; i++ {
+					if err := s.AddBall(i % 16); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := s.RemoveRandomBall(); err != nil {
+						t.Fatal(err)
+					}
+					if err := s.RunFor(0.25); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if ok, err := s.RunUntilPerfect(50_000_000); err != nil || !ok {
+					t.Fatalf("rebalance failed: %v", err)
+				}
+				if s.Disc() >= 1 {
+					t.Fatalf("disc = %g", s.Disc())
+				}
+			})
+		}
+	}
+}
+
+// TestSessionOptionPanics pins the session constructors' rejection style
+// for the combinations that stay unsupported.
+func TestSessionOptionPanics(t *testing.T) {
+	expectPanic := func(name, want string, f func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("did not panic")
+				}
+				if msg, ok := r.(string); !ok || msg != want {
+					t.Fatalf("panic %v, want %q", r, want)
+				}
+			}()
+			f()
+		})
+	}
+	expectPanic("strict+topology", "rls: strict tie rule on a topology is not supported", func() {
+		NewSession(16, 1, WithSessionStrictTieRule(), WithSessionTopology(RingTopology()))
+	})
+	expectPanic("sharded+strict", "rls: sharded sessions support only plain RLS on the complete topology", func() {
+		NewSession(16, 1, WithSessionEngineMode(ShardedEngine), WithSessionStrictTieRule())
+	})
+	expectPanic("shardedjump+topology", "rls: sharded sessions support only plain RLS on the complete topology", func() {
+		NewSession(16, 1, WithSessionEngineMode(ShardedJumpEngine), WithSessionTopology(RingTopology()))
+	})
+	expectPanic("jump+torus mismatch", "rls: torus side 3 does not match n=16", func() {
+		NewSession(16, 1, WithSessionEngineMode(JumpEngine), WithSessionTopology(TorusTopology(3)))
+	})
 }
 
 func TestJumpRunnerTraced(t *testing.T) {

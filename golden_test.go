@@ -109,6 +109,87 @@ func TestGoldenDirectRuns(t *testing.T) {
 	}
 }
 
+// TestGoldenJumpVariants pins the strict-jump and graph-jump engines'
+// fixed-seed outputs. These guard the PR 6 machinery — the tie-gap level
+// index and the per-source admissible structure — the same way the direct
+// goldens guard the activation path: a mismatch means the variant's draw
+// order or weight bookkeeping changed.
+func TestGoldenJumpVariants(t *testing.T) {
+	cases := []struct {
+		name    string
+		run     func() (Result, error)
+		time    string
+		acts    int64
+		moves   int64
+		loadSum uint64
+	}{
+		{
+			name: "strict-jump/n=32,m=256,seed=42",
+			run: func() (Result, error) {
+				return New(32, 256, WithSeed(42), WithEngineMode(JumpEngine), WithStrictTieRule()).Run()
+			},
+			time:    "4015e9b7bd5e9fda",
+			acts:    1386,
+			moves:   320,
+			loadSum: 0x79c21ec9e9d0c725,
+		},
+		{
+			name: "ring-jump/n=32,m=64,seed=5",
+			run: func() (Result, error) {
+				return New(32, 64, WithSeed(5), WithEngineMode(JumpEngine), WithTopology(RingTopology())).Run()
+			},
+			time:    "40560fa688bf11ca",
+			acts:    5656,
+			moves:   1530,
+			loadSum: 0x40789c74d104fb25,
+		},
+		{
+			name: "torus-jump/n=16,m=64,seed=13",
+			run: func() (Result, error) {
+				return New(16, 64, WithSeed(13), WithEngineMode(JumpEngine), WithTopology(TorusTopology(4))).Run()
+			},
+			time:    "401d39e96da10165",
+			acts:    428,
+			moves:   168,
+			loadSum: 0x0b0c357ea927a925,
+		},
+		{
+			name: "hypercube-jump/n=32,m=128,seed=9",
+			run: func() (Result, error) {
+				return New(32, 128, WithSeed(9), WithEngineMode(JumpEngine), WithTopology(HypercubeTopology(5))).Run()
+			},
+			time:    "4030bb506d17982d",
+			acts:    2124,
+			moves:   522,
+			loadSum: 0x072f1a1fb8392f25,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Reached {
+				t.Fatal("did not reach target")
+			}
+			if got := goldenTime(res.Time); got != c.time {
+				t.Errorf("time bits = %s, want %s (t=%v)", got, c.time, res.Time)
+			}
+			if res.Activations != c.acts {
+				t.Errorf("activations = %d, want %d", res.Activations, c.acts)
+			}
+			if res.Moves != c.moves {
+				t.Errorf("moves = %d, want %d", res.Moves, c.moves)
+			}
+			if got := goldenHash(res.Final); got != c.loadSum {
+				t.Errorf("final loads hash = %#x, want %#x", got, c.loadSum)
+			}
+		})
+	}
+}
+
 // TestGoldenSessionChurn pins a direct-mode session interleaving churn with
 // protocol execution: the full AddBall/RemoveBall/RandomBin/Run pipeline.
 func TestGoldenSessionChurn(t *testing.T) {

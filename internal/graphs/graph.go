@@ -169,6 +169,24 @@ func (g *RandomRegular) Neighbor(i, k int) int { return g.adj[i][k] }
 // Name implements Graph.
 func (g *RandomRegular) Name() string { return g.name }
 
+// RegularDegree returns the common degree of a regular graph, or
+// (0, false) if the graph is empty or has vertices of differing degree.
+// The graph jump engine needs regularity: only then is the
+// per-activation move probability the single ratio W_G/(m·Δ).
+func RegularDegree(g Graph) (int, bool) {
+	n := g.N()
+	if n == 0 {
+		return 0, false
+	}
+	d := g.Degree(0)
+	for i := 1; i < n; i++ {
+		if g.Degree(i) != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
 // IsConnected reports whether the graph is connected (BFS).
 func IsConnected(g Graph) bool {
 	n := g.N()

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"F1", "F2", "F3", "T1", "T2", "LB1", "LB2", "DML",
 		"P1", "P2", "P3", "L8", "L9", "L16", "CMP1", "CMP2", "CMP3",
-		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "A6", "O1",
+		"X1", "X2", "X3", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "O1",
 	}
 	for _, id := range want {
 		e, ok := Get(id)
@@ -178,6 +178,40 @@ func TestA6SameLaw(t *testing.T) {
 	for _, row := range tb.Rows {
 		if row[sameCol] != "true" {
 			t.Errorf("sharded-jump law mismatch: %v", row)
+		}
+	}
+}
+
+// TestA7SameLaw gates the strict-rule jump engine's law fidelity against
+// the strict direct engine in both regimes (the builder's acceptance run
+// checks 8 further seeds by hand via rlsweep).
+func TestA7SameLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, _ := Get("A7")
+	tb := e.Run(RunConfig{Seed: 15, Scale: Quick})
+	sameCol := colIndex(t, tb, "same law?")
+	for _, row := range tb.Rows {
+		if row[sameCol] != "true" {
+			t.Errorf("strict-jump law mismatch: %v", row)
+		}
+	}
+}
+
+// TestA8SameLaw gates the graph jump engine's law fidelity against the
+// direct GraphRLS engine on ring, torus, and hypercube (the builder's
+// acceptance run checks 8 further seeds by hand via rlsweep).
+func TestA8SameLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	e, _ := Get("A8")
+	tb := e.Run(RunConfig{Seed: 15, Scale: Quick})
+	sameCol := colIndex(t, tb, "same law?")
+	for _, row := range tb.Rows {
+		if row[sameCol] != "true" {
+			t.Errorf("graph-jump law mismatch: %v", row)
 		}
 	}
 }

@@ -19,17 +19,24 @@ import (
 //   - bal is a Fenwick tree over v·count[v] (total weight m), giving
 //     load-proportional — i.e. uniform-ball — bin sampling;
 //   - mvw is a Fenwick tree over the per-level move weight
-//     s[v] = v·count[v]·C(v−1), whose total W = Σ_v s[v] is exactly
+//     s[v] = v·count[v]·C(v−gap), whose total W = Σ_v s[v] is exactly
 //     (m·n)·P(a uniform activation is a productive move): the activated
 //     ball sits at level v with probability v·count[v]/m and its uniform
-//     destination accepts with probability C(v−1)/n.
+//     destination accepts with probability C(v−gap)/n.
+//
+// gap encodes the tie rule: 1 is plain RLS (move iff ℓ_src ≥ ℓ_dst + 1,
+// destinations with load ≤ v−1 are eligible), 2 is the strict rule of
+// [12]/[11] (move iff ℓ_src > ℓ_dst + 1, destinations with load ≤ v−2).
 //
 // A level transition touches count at two adjacent levels and C at one,
-// so only two s-entries change and every update is O(log Δ) in the
-// indexed level range. The index is self-contained: it reads only its own
-// lists and trees, never the Config histogram mid-update, so the two
-// transitions of a Move may be applied sequentially.
+// so at most three s-entries change (two for gap = 1, where the C-shift
+// lands on a level whose count also changed) and every update is
+// O(log Δ) in the indexed level range. The index is self-contained: it
+// reads only its own lists and trees, never the Config histogram
+// mid-update, so the two transitions of a Move may be applied
+// sequentially.
 type levelIndex struct {
+	gap    int       // tie rule: eligible destinations have load ≤ v−gap
 	binsAt [][]int32 // level -> bins at that level (unordered)
 	pos    []int32   // bin -> position within binsAt[load]
 	cnt    *fenwick  // count[v]
@@ -113,13 +120,15 @@ func (f *fenwick) find(target int64) (int, int64) {
 	return pos, target
 }
 
-// newLevelIndex builds the index for the configuration's current state.
-func newLevelIndex(c *Config) *levelIndex {
+// newLevelIndex builds the index for the configuration's current state
+// with the given tie gap (1 = plain, 2 = strict).
+func newLevelIndex(c *Config, gap int) *levelIndex {
 	size := 4
 	for size <= c.max+1 {
 		size *= 2
 	}
 	x := &levelIndex{
+		gap:    gap,
 		binsAt: make([][]int32, size),
 		pos:    make([]int32, c.n),
 		sval:   make([]int64, size),
@@ -153,7 +162,7 @@ func (x *levelIndex) rebuildTrees() {
 		x.sval[v] = 0
 		if v > 0 {
 			if cn := int64(len(x.binsAt[v])); cn > 0 {
-				x.sval[v] = int64(v) * cn * x.cnt.prefix(v-1)
+				x.sval[v] = int64(v) * cn * x.cnt.prefix(v-x.gap)
 			}
 		}
 		if x.sval[v] != 0 {
@@ -207,9 +216,10 @@ func (x *levelIndex) grow(need int) {
 
 // transition records that bin moved from level `from` to level `to`
 // (|from−to| = 1). It updates the lists, the count and ball-weight trees,
-// and refreshes the move weight at exactly the two levels whose inputs
+// and refreshes the move weight at exactly the levels whose inputs
 // changed: count at from/to, and C at min(from,to) which feeds
-// s[min+1] = s[max].
+// s[min+gap] — for gap = 1 that is s[max], already refreshed; for
+// gap = 2 it is the extra level max+1.
 func (x *levelIndex) transition(bin, from, to int) {
 	if to >= x.size {
 		x.grow(to)
@@ -233,19 +243,30 @@ func (x *levelIndex) transition(bin, from, to int) {
 	}
 	x.refreshWeight(from)
 	x.refreshWeight(to)
+	if x.gap > 1 {
+		lo := from
+		if to < lo {
+			lo = to
+		}
+		// C(lo) changed; it feeds s[lo+gap], which for gap > 1 is neither
+		// `from` nor `to`. Levels at or past x.size hold no bins (s = 0).
+		if u := lo + x.gap; u < x.size {
+			x.refreshWeight(u)
+		}
+	}
 	if x.extP != nil {
 		x.refreshExternal(from)
 		x.refreshExternal(to)
 	}
 }
 
-// refreshWeight recomputes s[v] = v·count[v]·C(v−1) from the live trees
-// and applies the difference as a point update.
+// refreshWeight recomputes s[v] = v·count[v]·C(v−gap) from the live
+// trees and applies the difference as a point update.
 func (x *levelIndex) refreshWeight(v int) {
 	var s int64
 	if v > 0 {
 		if cn := int64(len(x.binsAt[v])); cn > 0 {
-			s = int64(v) * cn * x.cnt.prefix(v-1)
+			s = int64(v) * cn * x.cnt.prefix(v-x.gap)
 		}
 	}
 	if d := s - x.sval[v]; d != 0 {
@@ -275,6 +296,7 @@ func (x *levelIndex) refreshExternal(v int) {
 // clone returns an independent deep copy of the index.
 func (x *levelIndex) clone() *levelIndex {
 	cp := &levelIndex{
+		gap:    x.gap,
 		binsAt: make([][]int32, len(x.binsAt)),
 		pos:    append([]int32(nil), x.pos...),
 		cnt:    &fenwick{tree: append([]int64(nil), x.cnt.tree...), n: x.cnt.n, top: x.cnt.top},
@@ -298,23 +320,48 @@ func (x *levelIndex) clone() *levelIndex {
 	return cp
 }
 
-// EnableLevelIndex builds the level index over the current configuration.
-// Subsequent Move/AddBall/RemoveBall calls maintain it incrementally in
-// O(log Δ); until enabled, Config carries no index and pays nothing.
-// Enabling twice is a no-op.
-func (c *Config) EnableLevelIndex() {
+// EnableLevelIndex builds the level index over the current configuration
+// for plain RLS (tie gap 1). Subsequent Move/AddBall/RemoveBall calls
+// maintain it incrementally in O(log Δ); until enabled, Config carries no
+// index and pays nothing. Enabling twice is a no-op.
+func (c *Config) EnableLevelIndex() { c.enableLevelIndex(1) }
+
+// EnableStrictLevelIndex builds the level index for the strict tie rule
+// of [12]/[11] (tie gap 2): the move weight becomes
+// W' = Σ_v v·count[v]·C(v−2) and SampleMovePair draws destinations with
+// load ≤ v−2, matching the rule that forbids neutral moves. Everything
+// else — maintenance cost, churn updates, SampleBallBin — is unchanged.
+func (c *Config) EnableStrictLevelIndex() { c.enableLevelIndex(2) }
+
+func (c *Config) enableLevelIndex(gap int) {
 	if c.idx == nil {
-		c.idx = newLevelIndex(c)
+		c.idx = newLevelIndex(c, gap)
+		return
+	}
+	if c.idx.gap != gap {
+		panic("loadvec: level index already enabled with a different tie rule")
 	}
 }
 
 // LevelIndexed reports whether the level index is enabled.
 func (c *Config) LevelIndexed() bool { return c.idx != nil }
 
-// MoveWeight returns W = Σ_v v·count[v]·C(v−1), where C(w) is the number
-// of bins with load ≤ w. W/(m·n) is exactly the probability that a
-// uniform ball activation is a productive RLS move, and W = 0 iff every
-// bin holds the same load. It panics unless the level index is enabled.
+// TieGap returns the enabled index's tie gap (1 = plain, 2 = strict), or
+// 0 when no level index is enabled.
+func (c *Config) TieGap() int {
+	if c.idx == nil {
+		return 0
+	}
+	return c.idx.gap
+}
+
+// MoveWeight returns W = Σ_v v·count[v]·C(v−gap), where C(w) is the
+// number of bins with load ≤ w and gap is the index's tie rule (1 plain,
+// 2 strict). W/(m·n) is exactly the probability that a uniform ball
+// activation is a productive move under that rule; W = 0 iff no eligible
+// (src, dst) pair exists — for gap 1 iff every bin holds the same load,
+// for gap 2 iff max − min ≤ 1 (i.e. the configuration is perfect). It
+// panics unless the level index is enabled.
 func (c *Config) MoveWeight() int64 {
 	if c.idx == nil {
 		panic("loadvec: MoveWeight without EnableLevelIndex")
@@ -322,11 +369,11 @@ func (c *Config) MoveWeight() int64 {
 	return c.idx.wTotal
 }
 
-// SampleMovePair draws a productive RLS move (src, dst) with the exact
-// law of the embedded jump chain: P(src at level v, dst at level w) ∝
-// v·count[v]·count[w] for w ≤ v−1, uniform over the bins within each
-// level. It panics if the index is disabled or no productive move exists
-// (MoveWeight 0).
+// SampleMovePair draws a productive move (src, dst) with the exact law
+// of the embedded jump chain under the index's tie rule: P(src at level
+// v, dst at level w) ∝ v·count[v]·count[w] for w ≤ v−gap, uniform over
+// the bins within each level. It panics if the index is disabled or no
+// productive move exists (MoveWeight 0).
 func (c *Config) SampleMovePair(r *rng.RNG) (src, dst int) {
 	x := c.idx
 	if x == nil {
@@ -338,7 +385,7 @@ func (c *Config) SampleMovePair(r *rng.RNG) (src, dst int) {
 	v, _ := x.mvw.find(r.Int63n(x.wTotal))
 	lst := x.binsAt[v]
 	src = int(lst[r.Intn(len(lst))])
-	below := x.cnt.prefix(v - 1) // ≥ 1: s[v] > 0 requires a lower level
+	below := x.cnt.prefix(v - x.gap) // ≥ 1: s[v] > 0 requires an eligible level
 	w, rem := x.cnt.find(r.Int63n(below))
 	dst = int(x.binsAt[w][rem])
 	return src, dst
@@ -357,6 +404,11 @@ func (c *Config) SampleMovePair(r *rng.RNG) (src, dst int) {
 func (c *Config) SetExternalPrefix(ext func(w int) int64) {
 	if c.idx == nil {
 		panic("loadvec: SetExternalPrefix without EnableLevelIndex")
+	}
+	if ext != nil && c.idx.gap != 1 {
+		// The sharded engines that consume the external extension run plain
+		// RLS only; the x-tree hard-codes the ext(v−1) prefix shift.
+		panic("loadvec: external prefix requires the plain tie rule")
 	}
 	c.idx.extP = ext
 	if ext == nil {
@@ -468,7 +520,7 @@ func (c *Config) validateIndex() error {
 	}
 	var total int
 	var wTotal, xTotal int64
-	var cum int64
+	var cum, cumPrev int64 // C(v−1) and C(v−2), tracked independently
 	for v := 0; v < x.size; v++ {
 		cn := len(x.binsAt[v])
 		total += cn
@@ -481,7 +533,11 @@ func (c *Config) validateIndex() error {
 		if got := x.bal.prefix(v) - x.bal.prefix(v-1); got != int64(v)*int64(cn) {
 			return fmt.Errorf("loadvec: bal tree at %d = %d, want %d", v, got, int64(v)*int64(cn))
 		}
-		want := int64(v) * int64(cn) * cum // s[v] = v·count[v]·C(v−1)
+		elig := cum // C(v−1) for plain, C(v−2) for strict
+		if x.gap == 2 {
+			elig = cumPrev
+		}
+		want := int64(v) * int64(cn) * elig // s[v] = v·count[v]·C(v−gap)
 		if x.sval[v] != want {
 			return fmt.Errorf("loadvec: sval[%d] = %d, want %d", v, x.sval[v], want)
 		}
@@ -501,6 +557,7 @@ func (c *Config) validateIndex() error {
 			}
 			xTotal += wantX
 		}
+		cumPrev = cum
 		cum += int64(cn)
 		wTotal += want
 	}

@@ -32,7 +32,8 @@ type Engine struct {
 	gaps    GapSampler        // non-nil when the sampler owns event timing
 	mover   Mover
 	r       *rng.RNG
-	jump    bool // rejection-free jump-chain mode (see jump.go)
+	jump    bool        // rejection-free jump-chain mode (see jump.go)
+	gidx    *graphIndex // jump mode on a graph topology (see jumpgraph.go)
 
 	time        float64
 	activations int64
@@ -145,6 +146,9 @@ func (e *Engine) AddBall(bin int) {
 	if e.sampler != nil {
 		e.sampler.AddBall(bin)
 	}
+	if e.gidx != nil {
+		e.gidx.update(e.cfg, bin)
+	}
 }
 
 // RemoveBall removes one ball from bin (a dynamic departure), keeping the
@@ -154,6 +158,9 @@ func (e *Engine) RemoveBall(bin int) {
 	e.cfg.RemoveBall(bin)
 	if e.sampler != nil {
 		e.sampler.RemoveBall(bin)
+	}
+	if e.gidx != nil {
+		e.gidx.update(e.cfg, bin)
 	}
 }
 
@@ -174,6 +181,9 @@ func (e *Engine) ForceMove(src, dst int) {
 	e.cfg.Move(src, dst)
 	if e.sampler != nil {
 		e.sampler.MoveBall(src, dst)
+	}
+	if e.gidx != nil {
+		e.gidx.update(e.cfg, src, dst)
 	}
 	e.forced++
 }

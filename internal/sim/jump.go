@@ -47,13 +47,34 @@ func NewJumpEngine(initial loadvec.Vector, r *rng.RNG) *Engine {
 	return &Engine{cfg: cfg, r: r, jump: true}
 }
 
+// NewStrictJumpEngine builds a rejection-free engine for strict-tie RLS
+// on the complete topology: a ball moves only if the destination is at
+// least two below its source (§7's ">" rule, after [11, 12]). The block
+// structure is identical to NewJumpEngine; only the move weight changes
+// to W' = Σ_v v·count[v]·C(v−2) — the strict level index shifts the
+// eligible-destination prefix by one level, and pair sampling and churn
+// updates shift with it. W' = 0 exactly when max−min ≤ 1, i.e. at
+// perfect balance, so UntilPerfect never stalls on a flat-weight state.
+// Experiment A7 KS-tests the balancing-time law against the strict
+// direct engine.
+func NewStrictJumpEngine(initial loadvec.Vector, r *rng.RNG) *Engine {
+	if r == nil {
+		panic("sim: NewStrictJumpEngine with nil RNG")
+	}
+	cfg := loadvec.NewConfig(initial)
+	cfg.EnableStrictLevelIndex()
+	return &Engine{cfg: cfg, r: r, jump: true}
+}
+
 // Jump reports whether the engine runs in rejection-free jump mode.
 func (e *Engine) Jump() bool { return e.jump }
 
 // stepJump performs one jump-chain transition: a geometric block of null
 // activations, its Erlang time gap, and the move that ends it. When no
-// productive move exists (W = 0 ⟺ all loads equal) it falls back to a
-// single null activation so time-targeted runs still advance.
+// productive move exists (W = 0: all loads equal under the plain rule,
+// max−min ≤ 1 under the strict rule, all neighbor pairs level on a
+// graph) it falls back to a single null activation so time-targeted runs
+// still advance.
 //
 // With a horizon set (SetHorizon), a block whose closing move would land
 // beyond it is truncated exactly: the number of activations in the
@@ -65,7 +86,20 @@ func (e *Engine) Jump() bool { return e.jump }
 // (Session) see the exact law.
 func (e *Engine) stepJump() bool {
 	m := float64(e.cfg.M())
-	w := e.cfg.MoveWeight()
+	// The move weight and the per-activation denominator depend on the
+	// variant: on the complete topology an activation proposes one of n
+	// bins (p = W/(m·n), W from the level index, plain or strict gap); on
+	// a Δ-regular graph it proposes one of Δ neighbor slots
+	// (p = W_G/(m·Δ), W_G from the graph index).
+	var w int64
+	var denom float64
+	if e.gidx != nil {
+		w = e.gidx.total
+		denom = float64(e.gidx.deg)
+	} else {
+		w = e.cfg.MoveWeight()
+		denom = float64(e.cfg.N())
+	}
 	h := e.horizon
 	if w == 0 {
 		if h > 0 && e.time < h {
@@ -79,7 +113,7 @@ func (e *Engine) stepJump() bool {
 		e.activations++
 		return false
 	}
-	p := float64(w) / (m * float64(e.cfg.N()))
+	p := float64(w) / (m * denom)
 	k := e.r.Geometric(p)
 	gap := e.r.Erlang(k, m)
 	if h > 0 && e.time < h && e.time+gap > h {
@@ -89,8 +123,16 @@ func (e *Engine) stepJump() bool {
 	}
 	e.time += gap
 	e.activations += k
-	src, dst := e.cfg.SampleMovePair(e.r)
+	var src, dst int
+	if e.gidx != nil {
+		src, dst = e.gidx.sample(e.cfg, e.r)
+	} else {
+		src, dst = e.cfg.SampleMovePair(e.r)
+	}
 	e.cfg.Move(src, dst)
+	if e.gidx != nil {
+		e.gidx.update(e.cfg, src, dst)
+	}
 	e.moves++
 	if e.PostMove != nil {
 		e.PostMove(e, src, dst)

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// Topology is the neighborhood view the graph jump engine needs: bins are
+// vertices and a ball in bin i samples its destination uniformly among
+// i's neighbor slots. It is the structural subset of graphs.Graph that
+// sim consumes, declared locally so the engine package does not depend on
+// the topology catalogue.
+type Topology interface {
+	// N returns the number of vertices (bins).
+	N() int
+	// Degree returns the number of neighbor slots of vertex i.
+	Degree(i int) int
+	// Neighbor returns the k-th neighbor of vertex i, 0 ≤ k < Degree(i).
+	Neighbor(i, k int) int
+}
+
+// fenwick is a 1-based binary indexed tree over int64 weights with the
+// weighted-selection descend graphIndex needs. (The exported Fenwick in
+// sampler.go tracks int bin loads for the activation sampler; this one
+// tracks move weights, which overflow int on 32-bit platforms.)
+type fenwick struct {
+	tree []int64
+	n    int
+	log2 uint
+}
+
+func newFenwick(n int) *fenwick {
+	f := &fenwick{tree: make([]int64, n+1), n: n}
+	for 1<<(f.log2+1) <= n {
+		f.log2++
+	}
+	return f
+}
+
+// add applies a point delta at 0-based index i.
+func (f *fenwick) add(i int, delta int64) {
+	for pos := i + 1; pos <= f.n; pos += pos & (-pos) {
+		f.tree[pos] += delta
+	}
+}
+
+// find returns the smallest 0-based index i with prefix(i) > target along
+// with target minus the prefix before i — the offset of target within
+// i's weight. The caller guarantees 0 <= target < total.
+func (f *fenwick) find(target int64) (i int, rem int64) {
+	pos := 0
+	for step := 1 << f.log2; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= f.n && f.tree[next] <= target {
+			pos = next
+			target -= f.tree[next]
+		}
+	}
+	return pos, target
+}
+
+// graphIndex is the per-source admissible structure behind the graph
+// jump engine. For a Δ-regular topology it maintains, per bin i,
+//
+//	adm[i] = #{slots k : load(Neighbor(i,k)) ≤ load(i) − 1}
+//
+// and a bin-indexed Fenwick tree over the weights w_i = load(i)·adm[i],
+// whose total is the graph move weight
+//
+//	W_G = Σ_i load(i)·adm[i].
+//
+// One activation picks a uniform ball (bin ∝ load) and a uniform slot,
+// so the per-activation move probability is exactly W_G/(m·Δ) and the
+// conditional law of the move is (src, slot) ∝ load(src)·[admissible] —
+// the embedded jump chain of GraphRLS, sampled with no rejection.
+//
+// Counting neighbor *slots* rather than distinct neighbors makes the law
+// match GraphRLS exactly even on multigraphs (a parallel edge doubles a
+// destination's probability in both) and makes self-loops harmless (a
+// self-slot is never admissible).
+//
+// A load change at bin b can flip the admissibility of b's own slots and
+// of the slot pointing back at b from each neighbor, so an update
+// recomputes the (≤ 1+Δ)-bin neighborhood by scan: O(Δ²) comparisons
+// plus O(Δ·log n) tree updates per move or churn event. That is the
+// bounded-degree trade: exact weights and zero rejections for ring,
+// torus, hypercube, and friends; dense graphs (Δ ~ n) want the
+// level-bound rejection scheme instead (see ROADMAP).
+type graphIndex struct {
+	g     Topology
+	deg   int      // uniform degree Δ
+	adm   []int32  // admissible slot count per bin
+	wval  []int64  // current w_i = load(i)·adm[i]
+	wt    *fenwick // Fenwick over wval
+	total int64    // W_G
+
+	// Scratch for update's neighborhood dedup (epoch stamping, no alloc).
+	stamp   []int64
+	epoch   int64
+	touched []int32
+}
+
+// newGraphIndex builds the structure for the configuration's current
+// state. It panics unless the topology covers exactly the configuration's
+// bins and is regular with degree ≥ 1 — regularity is what makes the
+// per-activation move probability a single ratio W_G/(m·Δ).
+func newGraphIndex(cfg *loadvec.Config, g Topology) *graphIndex {
+	n := cfg.N()
+	if g.N() != n {
+		panic("sim: graph jump engine needs a topology over exactly the configuration's bins")
+	}
+	deg := g.Degree(0)
+	if deg < 1 {
+		panic("sim: graph jump engine needs a regular topology with degree >= 1")
+	}
+	for i := 1; i < n; i++ {
+		if g.Degree(i) != deg {
+			panic("sim: graph jump engine needs a regular topology")
+		}
+	}
+	gx := &graphIndex{
+		g:       g,
+		deg:     deg,
+		adm:     make([]int32, n),
+		wval:    make([]int64, n),
+		wt:      newFenwick(n),
+		stamp:   make([]int64, n),
+		touched: make([]int32, 0, 2*(deg+1)),
+	}
+	for i := 0; i < n; i++ {
+		gx.recompute(cfg, i)
+	}
+	return gx
+}
+
+// recompute rescans bin i's slots against the live loads and applies the
+// weight difference as a point update.
+func (gx *graphIndex) recompute(cfg *loadvec.Config, i int) {
+	li := cfg.Load(i)
+	a := 0
+	for k := 0; k < gx.deg; k++ {
+		if cfg.Load(gx.g.Neighbor(i, k)) <= li-1 {
+			a++
+		}
+	}
+	gx.adm[i] = int32(a)
+	w := int64(li) * int64(a)
+	if d := w - gx.wval[i]; d != 0 {
+		gx.wt.add(i, d)
+		gx.wval[i] = w
+		gx.total += d
+	}
+}
+
+// update refreshes the structure after the loads of the given bins
+// changed (a move's endpoints, or one churn bin): each changed bin and
+// its full neighborhood are recomputed once, deduplicated by epoch stamp.
+func (gx *graphIndex) update(cfg *loadvec.Config, bins ...int) {
+	gx.epoch++
+	touched := gx.touched[:0]
+	add := func(i int) {
+		if gx.stamp[i] != gx.epoch {
+			gx.stamp[i] = gx.epoch
+			touched = append(touched, int32(i))
+		}
+	}
+	for _, b := range bins {
+		add(b)
+		for k := 0; k < gx.deg; k++ {
+			add(gx.g.Neighbor(b, k))
+		}
+	}
+	for _, i := range touched {
+		gx.recompute(cfg, int(i))
+	}
+	gx.touched = touched[:0]
+}
+
+// sample draws one jump-chain move: src with probability ∝
+// load(src)·adm[src], then a uniform admissible slot of src. The caller
+// guarantees total > 0.
+func (gx *graphIndex) sample(cfg *loadvec.Config, r *rng.RNG) (src, dst int) {
+	i, rem := gx.wt.find(r.Int63n(gx.total))
+	// rem is uniform over [0, load(i)·adm[i]); folding out the ball
+	// multiplicity leaves a uniform admissible-slot index.
+	j := int(rem % int64(gx.adm[i]))
+	li := cfg.Load(i)
+	for k := 0; k < gx.deg; k++ {
+		nb := gx.g.Neighbor(i, k)
+		if cfg.Load(nb) <= li-1 {
+			if j == 0 {
+				return i, nb
+			}
+			j--
+		}
+	}
+	panic("sim: graph index admissible count out of sync")
+}
+
+// NewGraphJumpEngine builds a rejection-free engine for plain RLS
+// restricted to a regular graph topology (the §7 extension simulated by
+// graphs.GraphRLS): a ball in bin i samples a uniform neighbor slot and
+// moves iff the neighbor's load is lower. Like NewJumpEngine it simulates
+// only the embedded jump chain — Geometric(W_G/(m·Δ)) null blocks,
+// Erlang time gaps — but the move weight W_G = Σ_i load(i)·adm[i] is
+// maintained exactly via per-source admissible-slot counts (graphIndex),
+// so every simulated event is a real move and SetHorizon's
+// thinned-Poisson clamp conditions on the exact accepted-event rate.
+//
+// Cost: O(Δ² + Δ·log n) per move and per churn event, so the engine
+// targets bounded-degree topologies (ring, torus, hypercube); near
+// balance the direct engine burns ~m·Δ/W_G activations per move, which
+// grows without bound as the last discrepancies random-walk toward each
+// other. The balancing-time law is identical to the direct engine's
+// (experiment A8 KS-tests it). The topology must be regular; multigraph
+// slots (parallel edges, self-loops) are handled exactly.
+func NewGraphJumpEngine(initial loadvec.Vector, g Topology, r *rng.RNG) *Engine {
+	if r == nil {
+		panic("sim: NewGraphJumpEngine with nil RNG")
+	}
+	if g == nil {
+		panic("sim: NewGraphJumpEngine with nil topology")
+	}
+	cfg := loadvec.NewConfig(initial)
+	// The level index serves RandomBin (session churn) and stays the
+	// uniform-ball sampler; the graph index owns the move weight.
+	cfg.EnableLevelIndex()
+	e := &Engine{cfg: cfg, r: r, jump: true}
+	e.gidx = newGraphIndex(cfg, g)
+	return e
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graphs"
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// scratchGraphWeight recomputes W_G = Σ_i load(i)·|admissible slots of i|
+// from the raw loads, the definition graphIndex must track.
+func scratchGraphWeight(v loadvec.Vector, g Topology) int64 {
+	var w int64
+	for i, li := range v {
+		a := 0
+		for k := 0; k < g.Degree(i); k++ {
+			if v[g.Neighbor(i, k)] <= li-1 {
+				a++
+			}
+		}
+		w += int64(li) * int64(a)
+	}
+	return w
+}
+
+// TestGraphIndexMatchesScratch drives the index through random moves and
+// churn on several regular topologies, validating the total and each
+// per-bin admissible count against a from-scratch recompute.
+func TestGraphIndexMatchesScratch(t *testing.T) {
+	r := rng.New(555)
+	topos := []Topology{
+		graphs.Ring{Vertices: 16},
+		graphs.Torus2D{Side: 4},
+		graphs.Hypercube{Dim: 4},
+	}
+	rr, err := graphs.NewRandomRegular(16, 3, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos = append(topos, rr) // the pairing model keeps multi-edges
+	for _, g := range topos {
+		n := g.N()
+		v := make(loadvec.Vector, n)
+		for i := range v {
+			v[i] = r.Intn(5)
+		}
+		if v.Balls() == 0 {
+			v[0] = 1
+		}
+		cfg := loadvec.NewConfig(v)
+		gx := newGraphIndex(cfg, g)
+		check := func(step int) {
+			loads := cfg.Snapshot()
+			if got, want := gx.total, scratchGraphWeight(loads, g); got != want {
+				t.Fatalf("step %d: W_G = %d, want %d (loads %v)", step, got, want, loads)
+			}
+			for i := 0; i < n; i++ {
+				a := 0
+				for k := 0; k < g.Degree(i); k++ {
+					if loads[g.Neighbor(i, k)] <= loads[i]-1 {
+						a++
+					}
+				}
+				if int(gx.adm[i]) != a {
+					t.Fatalf("step %d: adm[%d] = %d, want %d", step, i, gx.adm[i], a)
+				}
+			}
+		}
+		check(-1)
+		for step := 0; step < 400; step++ {
+			switch r.Intn(4) {
+			case 0: // graph-legal move
+				src := r.Intn(n)
+				if gx.adm[src] > 0 && cfg.Load(src) > 0 {
+					dst := g.Neighbor(src, r.Intn(g.Degree(src)))
+					if cfg.Load(dst) <= cfg.Load(src)-1 {
+						cfg.Move(src, dst)
+						gx.update(cfg, src, dst)
+					}
+				}
+			case 1: // destructive move
+				src, dst := r.Intn(n), r.Intn(n)
+				if src != dst && cfg.Load(src) > 0 {
+					cfg.Move(src, dst)
+					gx.update(cfg, src, dst)
+				}
+			case 2:
+				bin := r.Intn(n)
+				cfg.AddBall(bin)
+				gx.update(cfg, bin)
+			case 3:
+				if bin := r.Intn(n); cfg.Load(bin) > 0 && cfg.M() > 1 {
+					cfg.RemoveBall(bin)
+					gx.update(cfg, bin)
+				}
+			}
+			if step%23 == 0 {
+				check(step)
+			}
+		}
+		check(400)
+	}
+}
+
+// TestGraphIndexSampleLaw checks both validity (every sampled pair is a
+// legal graph move) and the exact law: pair (i, j) must appear with
+// probability load(i)·s_ij/W_G where s_ij is the number of parallel
+// slots of i pointing at j — the multigraph-exact law of GraphRLS.
+func TestGraphIndexSampleLaw(t *testing.T) {
+	g := graphs.Ring{Vertices: 5}
+	v := loadvec.Vector{4, 1, 2, 0, 3}
+	cfg := loadvec.NewConfig(v)
+	gx := newGraphIndex(cfg, g)
+	W := float64(gx.total)
+	if int64(W) != scratchGraphWeight(v, g) {
+		t.Fatalf("W_G = %g, want %d", W, scratchGraphWeight(v, g))
+	}
+	r := rng.New(31)
+	const draws = 200000
+	counts := map[[2]int]int{}
+	for i := 0; i < draws; i++ {
+		src, dst := gx.sample(cfg, r)
+		if v[dst] > v[src]-1 {
+			t.Fatalf("illegal pair (%d,%d): loads %d,%d", src, dst, v[src], v[dst])
+		}
+		counts[[2]int{src, dst}]++
+	}
+	for i := range v {
+		for j := range v {
+			slots := 0
+			for k := 0; k < g.Degree(i); k++ {
+				if g.Neighbor(i, k) == j && v[j] <= v[i]-1 {
+					slots++
+				}
+			}
+			want := float64(v[i]) * float64(slots) / W * draws
+			got := float64(counts[[2]int{i, j}])
+			if want == 0 {
+				if got != 0 {
+					t.Errorf("pair (%d,%d): %g draws, want 0", i, j, got)
+				}
+				continue
+			}
+			if sigma := math.Sqrt(want); math.Abs(got-want) > 5*sigma+1 {
+				t.Errorf("pair (%d,%d): %g draws, want %g ± %g", i, j, got, want, 5*sigma)
+			}
+		}
+	}
+}
+
+// TestGraphJumpEngineBalances runs the graph jump engine to perfection on
+// each catalogue topology from the worst-case start and cross-checks the
+// invariants shared with the direct engine.
+func TestGraphJumpEngineBalances(t *testing.T) {
+	topos := []Topology{
+		graphs.Ring{Vertices: 16},
+		graphs.Torus2D{Side: 4},
+		graphs.Hypercube{Dim: 4},
+	}
+	for _, g := range topos {
+		v := make(loadvec.Vector, g.N())
+		v[0] = 64
+		e := NewGraphJumpEngine(v, g, rng.New(2))
+		res := e.Run(UntilPerfect(), 0)
+		if !res.Stopped {
+			t.Fatalf("%T: did not balance", g)
+		}
+		if !res.Final.IsPerfect() {
+			t.Fatalf("%T: final %v not perfect", g, res.Final)
+		}
+		if res.Moves >= res.Activations {
+			t.Fatalf("%T: moves %d not below activations %d", g, res.Moves, res.Activations)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("%T: time %g", g, res.Time)
+		}
+	}
+}
+
+// TestStrictJumpEngineBalances runs the strict jump engine to perfection
+// and checks every move it makes is strict-legal via a PostMove probe.
+func TestStrictJumpEngineBalances(t *testing.T) {
+	v := make(loadvec.Vector, 16)
+	v[0] = 64
+	e := NewStrictJumpEngine(v, rng.New(3))
+	e.PostMove = func(e *Engine, src, dst int) {
+		// After the move, src lost one ball and dst gained one, so the
+		// strict precondition pre(src) ≥ pre(dst)+2 reads post(src) ≥
+		// post(dst).
+		if e.Cfg().Load(src) < e.Cfg().Load(dst) {
+			t.Fatalf("non-strict move %d→%d", src, dst)
+		}
+	}
+	res := e.Run(UntilPerfect(), 0)
+	if !res.Stopped || !res.Final.IsPerfect() {
+		t.Fatalf("did not balance: %v", res)
+	}
+}
+
+// TestGraphJumpHorizonClamp pins the horizon behaviour shared with the
+// plain jump engine: a time-targeted run lands exactly on the horizon.
+func TestGraphJumpHorizonClamp(t *testing.T) {
+	v := make(loadvec.Vector, 16)
+	v[0] = 64
+	e := NewGraphJumpEngine(v, graphs.Ring{Vertices: 16}, rng.New(4))
+	const h = 0.75
+	e.SetHorizon(h)
+	res := e.Run(UntilTime(h), 0)
+	if res.Time != h {
+		t.Fatalf("stopped at t=%g, want exactly %g", res.Time, h)
+	}
+}
+
+// TestGraphJumpChurn exercises AddBall/RemoveBall/ForceMove keeping the
+// graph index in sync (validated against scratch after each event).
+func TestGraphJumpChurn(t *testing.T) {
+	g := graphs.Hypercube{Dim: 3}
+	v := make(loadvec.Vector, 8)
+	v[0] = 24
+	e := NewGraphJumpEngine(v, g, rng.New(6))
+	r := rng.New(7)
+	for i := 0; i < 200; i++ {
+		switch r.Intn(3) {
+		case 0:
+			e.AddBall(r.Intn(8))
+		case 1:
+			if bin := e.RandomBin(); e.Cfg().M() > 1 {
+				e.RemoveBall(bin)
+			}
+		case 2:
+			src, dst := r.Intn(8), r.Intn(8)
+			if src != dst && e.Cfg().Load(src) > 0 {
+				e.ForceMove(src, dst)
+			}
+		}
+		e.Step()
+		if got, want := e.gidx.total, scratchGraphWeight(e.Cfg().Snapshot(), g); got != want {
+			t.Fatalf("event %d: W_G = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestGraphJumpEnginePanics pins the constructor's rejection branches.
+func TestGraphJumpEnginePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("nil rng", func() {
+		NewGraphJumpEngine(make(loadvec.Vector, 4), graphs.Ring{Vertices: 4}, nil)
+	})
+	expectPanic("nil topology", func() {
+		NewGraphJumpEngine(make(loadvec.Vector, 4), nil, rng.New(1))
+	})
+	expectPanic("size mismatch", func() {
+		NewGraphJumpEngine(make(loadvec.Vector, 4), graphs.Ring{Vertices: 8}, rng.New(1))
+	})
+	expectPanic("strict nil rng", func() {
+		NewStrictJumpEngine(make(loadvec.Vector, 4), nil)
+	})
+}

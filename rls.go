@@ -113,9 +113,14 @@ const (
 	// moves: activations advance geometrically, time by the matching
 	// Gamma(k, m) gap, and the move is sampled exactly from the live move
 	// weight (see internal/sim.NewJumpEngine). The balancing-time law is
-	// identical to DirectEngine (experiment A4 KS-tests it); cost drops
-	// from O(activations) to O(moves·log Δ). Plain RLS on the complete
-	// topology only; per-activation traces coarsen to per-move blocks.
+	// identical to DirectEngine (experiments A4/A7/A8 KS-test it); cost
+	// drops from O(activations) to O(moves·log Δ). Three rule/topology
+	// variants compose: plain and strict tie rules on the complete
+	// topology (the move weight shifts from C(v−1) to C(v−2) eligible
+	// destinations), and the plain rule on any regular graph topology
+	// (per-source admissible-slot counts, O(Δ²+Δ·log n) per move — built
+	// for bounded degree). Strict+topology and bin speeds remain
+	// DirectEngine-only; per-activation traces coarsen to per-move blocks.
 	JumpEngine
 	// ShardedEngine partitions the bins into WithShards contiguous ranges
 	// simulated by concurrent goroutine workers, each with its own
@@ -175,10 +180,13 @@ func WithTarget(t Target) Option { return func(r *Runner) { r.target = t } }
 
 // WithStrictTieRule switches to the [12]/[11] variant that forbids
 // neutral moves (move only if the destination is smaller by ≥ 2). The
-// paper's §3 remark: same balancing-time law.
+// paper's §3 remark: same balancing-time law. Supported by DirectEngine
+// and JumpEngine (not on a topology, not by the sharded modes).
 func WithStrictTieRule() Option { return func(r *Runner) { r.strict = true } }
 
 // WithTopology restricts destination sampling to a graph (§7).
+// Supported by DirectEngine (any graph) and JumpEngine (regular graphs,
+// plain tie rule); the sharded modes reject it.
 func WithTopology(t Topology) Option { return func(r *Runner) { r.topology = t } }
 
 // WithSpeeds gives bin i speed speeds[i] and switches to the §7
@@ -194,7 +202,8 @@ func WithFenwickEngine() Option { return func(r *Runner) { r.fenwick = true } }
 
 // WithEngineMode selects the execution mode (default DirectEngine). The
 // JumpEngine is rejection-free: same law, O(moves) instead of
-// O(activations); it requires plain RLS on the complete topology.
+// O(activations); it covers the plain and strict tie rules on the
+// complete topology and the plain rule on regular graph topologies.
 func WithEngineMode(m EngineMode) Option { return func(r *Runner) { r.mode = m } }
 
 // WithShards sets the sharded engines' worker count P (default
@@ -288,6 +297,27 @@ type TracePoint struct {
 	MaxLoad     int
 }
 
+// resolveGraph concretizes a Topology against a bin count: the ring
+// adapts its vertex count to n, the torus and hypercube must match it
+// exactly. Both the direct mover and the graph jump engine resolve
+// through here, so mismatches produce the same errors in every mode.
+func resolveGraph(t Topology, n int) (graphs.Graph, error) {
+	g := t.g
+	switch tt := g.(type) {
+	case graphs.Ring:
+		g = graphs.Ring{Vertices: n} // the ring adapts to the runner's n
+	case graphs.Torus2D:
+		if tt.Side*tt.Side != n {
+			return nil, fmt.Errorf("rls: torus side %d does not match n=%d", tt.Side, n)
+		}
+	case graphs.Hypercube:
+		if 1<<tt.Dim != n {
+			return nil, fmt.Errorf("rls: hypercube dim %d does not match n=%d", tt.Dim, n)
+		}
+	}
+	return g, nil
+}
+
 // mover picks the decision rule implied by the options.
 func (r *Runner) mover() (sim.Mover, error) {
 	if r.speeds != nil {
@@ -300,21 +330,12 @@ func (r *Runner) mover() (sim.Mover, error) {
 		return hetero.NewSpeedRLS(r.speeds)
 	}
 	if r.topology.g != nil {
-		g := r.topology.g
-		switch t := g.(type) {
-		case graphs.Ring:
-			g = graphs.Ring{Vertices: r.n} // the ring adapts to the runner's n
-		case graphs.Torus2D:
-			if t.Side*t.Side != r.n {
-				return nil, fmt.Errorf("rls: torus side %d does not match n=%d", t.Side, r.n)
-			}
-		case graphs.Hypercube:
-			if 1<<t.Dim != r.n {
-				return nil, fmt.Errorf("rls: hypercube dim %d does not match n=%d", t.Dim, r.n)
-			}
-		}
 		if r.strict {
 			return nil, fmt.Errorf("rls: strict tie rule on a topology is not supported")
+		}
+		g, err := resolveGraph(r.topology, r.n)
+		if err != nil {
+			return nil, err
 		}
 		return graphs.GraphRLS{G: g}, nil
 	}
@@ -325,10 +346,11 @@ func (r *Runner) mover() (sim.Mover, error) {
 }
 
 // shardedEngine builds the sharded or sharded-jump engine, rejecting the
-// options neither supports (mirroring the jump engine's restrictions).
+// options neither supports (the sharded modes remain plain-rule,
+// complete-topology only; see the EngineMode docs).
 func (r *Runner) shardedEngine() (*sim.Sharded, error) {
 	if r.strict || r.topology.g != nil || r.speeds != nil {
-		return nil, fmt.Errorf("rls: the %s engine supports only plain RLS on the complete topology", r.mode)
+		return nil, fmt.Errorf("rls: the %s engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two", r.mode)
 	}
 	if r.fenwick {
 		return nil, fmt.Errorf("rls: the %s engine owns per-shard ball lists; drop WithFenwickEngine", r.mode)
@@ -404,19 +426,38 @@ func (r *Runner) shardedResult(res sim.Result, ph *PhaseTimes) Result {
 // engine builds the configured engine and tracker.
 func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
 	if r.mode == JumpEngine {
-		if r.strict || r.topology.g != nil || r.speeds != nil {
-			return nil, nil, fmt.Errorf("rls: the jump engine supports only plain RLS on the complete topology")
+		if r.speeds != nil {
+			return nil, nil, fmt.Errorf("rls: the jump engine does not support bin speeds; use DirectEngine")
 		}
 		if r.fenwick {
 			return nil, nil, fmt.Errorf("rls: the jump engine has no activation sampler; drop WithFenwickEngine")
 		}
+		if r.strict && r.topology.g != nil {
+			return nil, nil, fmt.Errorf("rls: strict tie rule on a topology is not supported")
+		}
 		stream := rng.New(r.seed)
 		v := r.placement.gen.Generate(r.n, r.m, stream)
-		e := sim.NewJumpEngine(v, stream)
+		var e *sim.Engine
+		switch {
+		case r.topology.g != nil:
+			g, err := resolveGraph(r.topology, r.n)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, ok := graphs.RegularDegree(g); !ok {
+				return nil, nil, fmt.Errorf("rls: the jump engine needs a regular topology, %s is not", g.Name())
+			}
+			e = sim.NewGraphJumpEngine(v, g, stream)
+		case r.strict:
+			e = sim.NewStrictJumpEngine(v, stream)
+		default:
+			e = sim.NewJumpEngine(v, stream)
+		}
 		if r.target.kind == targetTime {
 			// Clamp the final geometric block at the horizon so time-targeted
 			// jump runs stop at exactly the target instead of overshooting by
-			// up to a whole block.
+			// up to a whole block. All three jump variants condition the clamp
+			// on their exact accepted-event rate.
 			e.SetHorizon(r.target.arg)
 		}
 		return e, core.NewPhaseTracker(e), nil

@@ -1,23 +1,24 @@
 #!/usr/bin/env bash
 # bench.sh runs the perf-trajectory benchmark suite and writes the results
-# as JSON (default BENCH_PR5.json) so successive PRs can track the hot
+# as JSON (default BENCH_PR6.json) so successive PRs can track the hot
 # paths: whole-run balancing cost (BenchmarkBalanceToPerfection), the
-# direct-vs-jump end-game comparison (BenchmarkEndGame), live churn
-# (BenchmarkSessionChurn), the direct-vs-sharded dense regime
-# (BenchmarkShardedDense), and the sharded-jump composition — end-game
-# scaffolding price (BenchmarkShardedJumpEndGame) and the adaptive-epoch
-# dense→sparse run (BenchmarkShardedJumpDenseToSparse). Shard ratios need
-# as many hardware threads as shards — the JSON header records the core
-# count.
+# direct-vs-jump end-game comparisons — plain (BenchmarkEndGame), strict
+# tie rule (BenchmarkStrictEndGame), and ring/torus/hypercube topologies
+# (BenchmarkGraphEndGame) — live churn (BenchmarkSessionChurn), the
+# direct-vs-sharded dense regime (BenchmarkShardedDense), and the
+# sharded-jump composition — end-game scaffolding price
+# (BenchmarkShardedJumpEndGame) and the adaptive-epoch dense→sparse run
+# (BenchmarkShardedJumpDenseToSparse). Shard ratios need as many hardware
+# threads as shards — the JSON header records the core count.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=5x scripts/bench.sh   # override go test -benchtime
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR6.json}
 benchtime=${BENCHTIME:-3x}
-pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse)$'
+pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|BenchmarkGraphEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

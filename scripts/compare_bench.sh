@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# compare_bench.sh diffs the latest two tracked BENCH_PR*.json files on
+# their shared benchmark names and prints per-name ns/op deltas, so the
+# perf trajectory across PRs is visible at a glance (wired into CI as a
+# non-gating step: numbers from different machines are indicative, not a
+# pass/fail signal — the JSON headers record the core counts).
+#
+# Usage: scripts/compare_bench.sh [old.json new.json]
+#   (defaults to the two highest-numbered BENCH_PR*.json in the repo;
+#    exits 0 with a note when fewer than two exist)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -eq 2 ]; then
+  old=$1 new=$2
+else
+  mapfile -t tracked < <(ls BENCH_PR*.json 2>/dev/null | sort -V)
+  if [ "${#tracked[@]}" -lt 2 ]; then
+    echo "compare_bench.sh: fewer than two BENCH_PR*.json files; nothing to compare"
+    exit 0
+  fi
+  old=${tracked[-2]} new=${tracked[-1]}
+fi
+
+# Pull (name, ns_per_op) pairs out of one results file. The JSON is the
+# flat one-object-per-line shape bench.sh emits, so grep/sed suffice.
+pairs() {
+  grep -o '"name": *"[^"]*"[^}]*' "$1" |
+    sed -n 's/.*"name": *"\([^"]*\)".*"ns_per_op": *\([0-9.eE+-]*\).*/\1 \2/p' |
+    sort
+}
+
+join <(pairs "$old") <(pairs "$new") | awk -v old="$old" -v new="$new" '
+BEGIN {
+  printf "%-60s %14s %14s %9s\n", "benchmark (" old " -> " new ")", "old ns/op", "new ns/op", "delta"
+}
+{
+  delta = ($2 > 0) ? ($3 - $2) / $2 * 100 : 0
+  printf "%-60s %14.0f %14.0f %+8.1f%%\n", $1, $2, $3, delta
+  shared++
+}
+END {
+  if (shared == 0) { print "no shared benchmark names" }
+  else { printf "%d shared benchmarks (negative delta = faster)\n", shared }
+}'

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/graphs"
 	"repro/internal/loadvec"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -34,10 +35,12 @@ import (
 // parallel shards that each skip their null activations — covering dense
 // stretches and converged stretches in one session.
 type Session struct {
-	engine sessionEngine
-	stream *rng.RNG
-	mode   EngineMode
-	shards int
+	engine   sessionEngine
+	stream   *rng.RNG
+	mode     EngineMode
+	shards   int
+	strict   bool
+	topology Topology
 }
 
 // sessionEngine is the churn-plus-execution surface Session drives; it is
@@ -126,6 +129,22 @@ func WithSessionShards(p int) SessionOption {
 	return func(s *Session) { s.shards = p }
 }
 
+// WithSessionStrictTieRule runs the session under the strict tie rule
+// (move only if the destination is smaller by ≥ 2). Supported by the
+// direct and jump modes; not on a topology, not by the sharded modes.
+func WithSessionStrictTieRule() SessionOption {
+	return func(s *Session) { s.strict = true }
+}
+
+// WithSessionTopology restricts the session's destination sampling to a
+// graph (§7). Supported by the direct mode (any graph) and the jump mode
+// (regular graphs, plain tie rule); the sharded modes reject it. Churn
+// updates the jump mode's per-source admissible structure incrementally
+// (O(Δ²+Δ·log n) per join/leave).
+func WithSessionTopology(t Topology) SessionOption {
+	return func(s *Session) { s.topology = t }
+}
+
 // NewSession creates a session with n empty bins.
 func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 	if n < 1 {
@@ -135,17 +154,54 @@ func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.strict && s.topology.g != nil {
+		panic("rls: strict tie rule on a topology is not supported")
+	}
 	switch s.mode {
 	case JumpEngine:
-		s.engine = sequentialSession{sim.NewJumpEngine(make(loadvec.Vector, n), s.stream)}
-	case ShardedEngine:
-		s.engine = shardedSession{sim.NewSharded(make(loadvec.Vector, n), s.shards, 0, s.stream)}
-	case ShardedJumpEngine:
-		s.engine = shardedSession{sim.NewShardedJump(make(loadvec.Vector, n), s.shards, 0, s.stream)}
+		switch {
+		case s.topology.g != nil:
+			s.engine = sequentialSession{sim.NewGraphJumpEngine(make(loadvec.Vector, n), s.sessionGraph(n), s.stream)}
+		case s.strict:
+			s.engine = sequentialSession{sim.NewStrictJumpEngine(make(loadvec.Vector, n), s.stream)}
+		default:
+			s.engine = sequentialSession{sim.NewJumpEngine(make(loadvec.Vector, n), s.stream)}
+		}
+	case ShardedEngine, ShardedJumpEngine:
+		if s.strict || s.topology.g != nil {
+			panic("rls: sharded sessions support only plain RLS on the complete topology")
+		}
+		if s.mode == ShardedEngine {
+			s.engine = shardedSession{sim.NewSharded(make(loadvec.Vector, n), s.shards, 0, s.stream)}
+		} else {
+			s.engine = shardedSession{sim.NewShardedJump(make(loadvec.Vector, n), s.shards, 0, s.stream)}
+		}
 	default:
-		s.engine = sequentialSession{sim.NewEngine(make(loadvec.Vector, n), core.RLS{}, sim.NewBallList(), s.stream)}
+		var mover sim.Mover = core.RLS{}
+		if s.topology.g != nil {
+			mover = graphs.GraphRLS{G: s.sessionGraph(n)}
+		} else if s.strict {
+			mover = core.StrictRLS{}
+		}
+		s.engine = sequentialSession{sim.NewEngine(make(loadvec.Vector, n), mover, sim.NewBallList(), s.stream)}
 	}
 	return s
+}
+
+// sessionGraph resolves the configured topology against the session's bin
+// count, panicking (NewSession's error style) on a mismatch or — in jump
+// mode — an irregular graph.
+func (s *Session) sessionGraph(n int) graphs.Graph {
+	g, err := resolveGraph(s.topology, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	if s.mode == JumpEngine {
+		if _, ok := graphs.RegularDegree(g); !ok {
+			panic(fmt.Sprintf("rls: the jump engine needs a regular topology, %s is not", g.Name()))
+		}
+	}
+	return g
 }
 
 // Mode returns the session's engine mode.
