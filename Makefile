@@ -18,10 +18,18 @@ lint:
 race:
 	go test -race ./...
 
-# bench regenerates BENCH_PR6.json, the perf trajectory tracked per PR
-# (balancing runs, direct-vs-jump end-game — plain, strict tie rule, and
-# graph topologies — session churn, direct-vs-sharded dense regime, and
-# the sharded-jump composition benches). compare_bench.sh diffs the two
-# latest tracked files.
+# bench records the perf trajectory tracked per PR into the next
+# BENCH_PR<k>.json (auto-numbered from the highest tracked file):
+# balancing runs, direct-vs-jump end-game — plain, strict tie rule, and
+# graph topologies — session churn, direct-vs-sharded dense regime, the
+# sharded-jump composition benches, the allocation-free epoch-loop
+# floor, and the rlsweep -scaling speedup-vs-P cells. compare_bench.sh
+# diffs the two latest tracked files.
 bench:
 	./scripts/bench.sh
+
+# scaling prints the speedup-vs-P table for the parallel engines on this
+# machine (see the JSON header for cores/GOMAXPROCS caveats).
+.PHONY: scaling
+scaling:
+	go run ./cmd/rlsweep -scaling

@@ -1,12 +1,14 @@
 // Command rlsweep regenerates the reproduction's experiment tables — one
 // per figure/claim of the paper plus the engine-equivalence gates, as
-// registered in internal/harness (-list enumerates them).
+// registered in internal/harness (-list enumerates them) — and, with
+// -scaling, the multi-core scaling study for the parallel engines.
 //
 // Examples:
 //
 //	rlsweep -list
 //	rlsweep -exp T1
 //	rlsweep -exp all -scale full -format csv
+//	rlsweep -scaling -scalingjson scaling.json
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/harness"
@@ -27,6 +30,12 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "root seed")
 		list   = flag.Bool("list", false, "list registered experiments and exit")
 		outdir = flag.String("outdir", "", "also write each table as <outdir>/<ID>.csv")
+
+		scaling     = flag.Bool("scaling", false, "run the parallel-engine scaling study instead of experiments")
+		scalingN    = flag.Int("scalingn", 0, "scaling: dense workload size (bins = balls; 0 = default 1<<15)")
+		scalingReps = flag.Int("scalingreps", 0, "scaling: timing repetitions per cell (0 = default 3)")
+		scalingMaxP = flag.Int("scalingmaxp", 0, "scaling: largest shard count swept (0 = GOMAXPROCS)")
+		scalingJSON = flag.String("scalingjson", "", "scaling: also write the cells as a BENCH-style json array")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -37,6 +46,29 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *scaling {
+		cfg := harness.ScalingConfig{
+			N: *scalingN, Reps: *scalingReps, MaxP: *scalingMaxP, Seed: *seed,
+		}
+		start := time.Now()
+		points := harness.RunScaling(cfg)
+		tb := harness.ScalingTable(points, cfg)
+		switch *format {
+		case "csv":
+			tb.RenderCSV(os.Stdout)
+		default:
+			tb.Render(os.Stdout)
+			fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+		}
+		if *scalingJSON != "" {
+			if err := writeScalingJSON(*scalingJSON, points); err != nil {
+				fmt.Fprintf(os.Stderr, "rlsweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -97,6 +129,26 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeScalingJSON emits the scaling cells in the BENCH_PR*.json shape —
+// a flat array opening with a header object — so the bench scripts can
+// merge and diff them like any other benchmark entries. NumCPU and
+// GOMAXPROCS are recorded in the header: speedup curves are meaningless
+// without knowing the hardware parallelism they ran on.
+func writeScalingJSON(path string, points []harness.ScalingPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "[\n  {\"suite\": \"scaling\", \"cores\": %d, \"gomaxprocs\": %d}",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	for _, pt := range points {
+		fmt.Fprintf(f, ",\n  {\"name\": %q, \"ns_per_op\": %.0f, \"speedup\": %.4f}",
+			pt.Name(), pt.NsPerOp, pt.Speedup)
+	}
+	fmt.Fprintln(f, "\n]")
+	return f.Close()
 }
 
 func writeCSV(path string, tb *harness.Table) error {

@@ -50,8 +50,11 @@
 //     configuration, sampler, and deterministically split RNG stream —
 //     the m per-ball Poisson clocks superpose into independent per-shard
 //     streams, so shards advance the same continuous-time process
-//     concurrently. Local moves apply immediately; cross-shard moves
-//     queue through bounded channels, pre-filtered against a stale load
+//     concurrently. Workers draw activations in batches (one Poisson
+//     count per epoch, destinations and ball ids filled into flat
+//     scratch arrays) so the steady-state epoch loop allocates nothing.
+//     Local moves apply immediately; cross-shard moves append to
+//     per-shard outbox slices, pre-filtered against a stale load
 //     snapshot, and drain at epoch barriers in deterministic parallel
 //     phases that re-check the RLS rule against live loads. A per-barrier
 //     reconciliation folds the shard histograms into the global min/max/
@@ -103,6 +106,29 @@
 // output is byte-identical — direct for ShardedEngine, jump for
 // ShardedJumpEngine; the equivalence tests pin both.
 //
+// # Shard repartitioning
+//
+// A static contiguous partition load-imbalances as mass drains toward a
+// few bins: the shard owning them ends up with nearly all the event
+// weight while its peers idle at the barrier. The sharded engines
+// therefore rebalance their range boundaries at epoch barriers,
+// work-stealing style. The policy is cheap-by-default: an O(P) trigger
+// fires only when the heaviest shard's event-weight share exceeds 3/2
+// of fair (weights: ball mass for ShardedEngine; W_s + X_s, the
+// jump-chain event rate, for ShardedJumpEngine), a full O(n)
+// weighted-prefix split (loadvec.BalancedCuts over per-bin weights) is
+// further gated by exponential backoff (8 → 1024 barriers) and only
+// adopted when it shaves at least 1/8 off the maximum shard weight, and
+// a migration rebuilds only the shards whose range changed — from the
+// stale snapshot, which equals the live loads at every barrier.
+//
+// Repartitioning never breaks reproducibility: the new cuts are a pure
+// function of the folded barrier statistics, so a fixed (seed, P)
+// replays the identical sequence of migrations and the identical
+// trajectory. At P = 1 the trigger can never fire (one shard always
+// holds exactly its fair share), so the byte-identical sequential
+// equivalences above are untouched.
+//
 // Time targets: DirectEngine stops at the first activation on or past
 // the target (a ~Exp(m) overshoot); the jump modes clamp their final
 // block so UntilTime runs report exactly the target time, with the
@@ -141,6 +167,9 @@
 // the benchmarks in bench_test.go (`go run ./cmd/rlsweep -list`
 // enumerates it; cmd/README.md documents the tools). README.md is the
 // project front door — quickstart, the engine-mode matrix, the examples
-// tour, and the benchmark methodology. `make bench` regenerates
-// BENCH_PR6.json, the tracked perf trajectory.
+// tour, and the benchmark methodology. `make bench` records the tracked
+// perf trajectory into the next BENCH_PR*.json, including the `rlsweep
+// -scaling` speedup-vs-P study (`make scaling` prints it standalone);
+// shard ratios need as many hardware threads as shards, and the JSON
+// headers record the machine's core count and GOMAXPROCS.
 package rls

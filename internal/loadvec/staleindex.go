@@ -22,10 +22,13 @@ import "fmt"
 // O(P + log Δ) update, and ExternalBinAt maps a sampled uniform index over
 // that population onto its concrete bin in O(P + log Δ) — no operation
 // ever scans a bucket, which matters because end-game buckets hold ~n
-// bins. Parts own contiguous bin ranges under PartitionRange, matching the
-// sharded engine's layout.
+// bins. Parts own contiguous bin ranges described by an explicit cuts
+// vector (NewStaleIndexCuts) — the canonical PartitionRange boundaries by
+// default (NewStaleIndex), arbitrary strictly increasing boundaries when
+// the sharded engine has repartitioned.
 type StaleIndex struct {
 	n, parts int
+	cuts     []int     // part p owns bins [cuts[p], cuts[p+1])
 	levels   int       // indexed levels 0..levels-1 (doubling growth)
 	at       [][]int32 // at[v*parts+p]: part p's bins at stale level v
 	pos      []int32   // bin -> position within its bucket
@@ -33,18 +36,31 @@ type StaleIndex struct {
 	own      []*fenwick
 }
 
-// NewStaleIndex builds the census for the given stale snapshot under a
-// parts-way contiguous partition (the from-scratch reconciliation; the
-// property tests compare incrementally maintained indexes against it). It
+// NewStaleIndex builds the census for the given stale snapshot under the
+// canonical parts-way contiguous partition (PartitionRange boundaries). It
 // panics on an empty snapshot, a negative level, or parts outside
 // [1, len(stale)]. O(n + parts·Δ).
 func NewStaleIndex(stale []int, parts int) *StaleIndex {
-	if len(stale) == 0 {
-		panic("loadvec: NewStaleIndex with no bins")
-	}
 	if parts < 1 || parts > len(stale) {
 		panic("loadvec: NewStaleIndex with parts outside [1, len(stale)]")
 	}
+	return NewStaleIndexCuts(stale, Cuts(len(stale), parts))
+}
+
+// NewStaleIndexCuts builds the census under the contiguous partition
+// described by an explicit boundary vector (see Cuts/BalancedCuts): part p
+// owns bins [cuts[p], cuts[p+1]). The sharded engine rebuilds its census
+// through this constructor whenever repartitioning moves the boundaries.
+// It panics on an empty snapshot, a negative level, or an invalid cuts
+// vector. O(n + parts·Δ).
+func NewStaleIndexCuts(stale []int, cuts []int) *StaleIndex {
+	if len(stale) == 0 {
+		panic("loadvec: NewStaleIndex with no bins")
+	}
+	if err := ValidateCuts(cuts, len(stale)); err != nil {
+		panic(err.Error())
+	}
+	parts := len(cuts) - 1
 	maxLevel := 0
 	for bin, l := range stale {
 		if l < 0 {
@@ -61,6 +77,7 @@ func NewStaleIndex(stale []int, parts int) *StaleIndex {
 	x := &StaleIndex{
 		n:      len(stale),
 		parts:  parts,
+		cuts:   append([]int(nil), cuts...),
 		levels: levels,
 		at:     make([][]int32, levels*parts),
 		pos:    make([]int32, len(stale)),
@@ -68,7 +85,7 @@ func NewStaleIndex(stale []int, parts int) *StaleIndex {
 	// Bins are scanned in ascending order, so every bucket starts sorted by
 	// bin id; incremental Moves are free to break that (nothing reads it).
 	for bin, l := range stale {
-		b := l*parts + PartitionOwner(x.n, parts, bin)
+		b := l*parts + CutsOwner(x.cuts, bin)
 		x.pos[bin] = int32(len(x.at[b]))
 		x.at[b] = append(x.at[b], int32(bin))
 	}
@@ -117,7 +134,7 @@ func (x *StaleIndex) Move(bin, from, to int) {
 	if to >= x.levels {
 		x.grow(to)
 	}
-	p := PartitionOwner(x.n, x.parts, bin)
+	p := CutsOwner(x.cuts, bin)
 	src := x.at[from*x.parts+p]
 	i := x.pos[bin]
 	last := src[len(src)-1]
@@ -207,7 +224,7 @@ func (x *StaleIndex) Validate(stale []int) error {
 				if stale[bin] != v {
 					return fmt.Errorf("loadvec: bin %d bucketed at level %d, snapshot says %d", bin, v, stale[bin])
 				}
-				if PartitionOwner(x.n, x.parts, int(bin)) != p {
+				if CutsOwner(x.cuts, int(bin)) != p {
 					return fmt.Errorf("loadvec: bin %d bucketed under part %d", bin, p)
 				}
 				if x.pos[bin] != int32(i) {

@@ -1,0 +1,44 @@
+package rng
+
+import "math/bits"
+
+// Batched draw primitives for the sharded engine's hot loop: filling a
+// flat array in one call keeps the generator state in registers for the
+// whole run of draws and hoists the bound-specific rejection threshold
+// out of the loop, where the per-call Intn path re-derives it on every
+// rejection. The draw sequence is bit-identical to the equivalent loop of
+// Int63n calls — batching changes cost, never the stream — which the
+// determinism tests pin.
+
+// FillIntn fills dst with independent uniform draws from [0, n), consuming
+// exactly the random bits the same number of Intn(n) calls would. It
+// panics if n <= 0 or n does not fit in an int32.
+func (r *RNG) FillIntn(n int, dst []int32) {
+	if n <= 0 {
+		panic("rng: FillIntn with non-positive n")
+	}
+	if n > 1<<31-1 {
+		panic("rng: FillIntn bound exceeds int32")
+	}
+	un := uint64(n)
+	thresh := (-un) % un // accept iff lo >= thresh; Int63n's lazy test agrees
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		for {
+			x := rotl(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = rotl(s3, 45)
+			hi, lo := bits.Mul64(x, un)
+			if lo >= thresh {
+				dst[i] = int32(hi)
+				break
+			}
+		}
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}

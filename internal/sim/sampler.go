@@ -139,6 +139,11 @@ func (b *BallList) RemoveBall(bin int) {
 	b.pos = b.pos[:last]
 }
 
+// Bin returns the bin of ball id — the read half of Sample, exposed so the
+// sharded epoch loop can batch its uniform ball-id draws into a flat array
+// (rng.FillIntn) and resolve each id against the live table at event time.
+func (b *BallList) Bin(id int) int { return int(b.ballBin[id]) }
+
 // Name implements ActivationSampler.
 func (b *BallList) Name() string { return "ball-list" }
 

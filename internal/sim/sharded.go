@@ -12,24 +12,30 @@ import (
 // where the direct engine's per-activation work dominates and the jump
 // engine has nothing to skip.
 //
-// The n bins are partitioned into P contiguous ranges. Each shard owns a
-// range as its own loadvec.Config plus BallList sampler and draws from its
-// own deterministic RNG stream (split from the root seed), so a fixed
-// (seed, P) pair reproduces the run exactly regardless of scheduling. The
-// m rate-1 ball clocks superpose into independent per-shard Poisson
-// streams of rate m_s, so shards simulate disjoint slices of the same
-// continuous-time process with no shared state:
+// The n bins are partitioned into P contiguous ranges — shard i owns
+// [cuts[i], cuts[i+1]), initially the near-equal PartitionRange boundaries
+// and re-balanced at epoch barriers (see "Repartitioning" below). Each
+// shard owns its range as its own loadvec.Config plus BallList sampler and
+// draws from its own deterministic RNG stream (split from the root seed),
+// so a fixed (seed, P) pair reproduces the run exactly regardless of
+// scheduling. The m rate-1 ball clocks superpose into independent
+// per-shard Poisson streams of rate m_s, so shards simulate disjoint
+// slices of the same continuous-time process with no shared state:
 //
 //   - epochs: time is cut into epochs of length dt. Within an epoch every
-//     shard advances its own clock by Exp(m_s) gaps and runs its
-//     activations locally — a move whose sampled destination lands in the
-//     same shard is decided and applied immediately, exactly as in the
-//     direct engine;
+//     shard draws its activation count K ~ Poisson(m_s·dt) in one block —
+//     the count of a rate-m_s Poisson stream over the window, with the
+//     per-activation Exp gaps integrated out — and runs the K activations
+//     locally with batched uniform draws (rng.FillIntn into flat scratch
+//     arrays, the dense-phase analogue of the jump engine's geometric
+//     block draws). A move whose sampled destination lands in the same
+//     shard is decided and applied immediately, exactly as in the direct
+//     engine;
 //   - cross-shard moves: a destination owned by another shard cannot be
 //     read mid-epoch without a race, so the activation becomes a
-//     *proposal* routed through the shard's bounded channel queue,
+//     *proposal* appended to the shard's private outbox slice,
 //     pre-filtered against a stale (last-reconciliation) snapshot of the
-//     global loads. Queues are drained at the epoch barrier in three
+//     global loads. Outboxes are drained at the epoch barrier in three
 //     deterministic parallel phases: sources re-validate against their
 //     live loads and detach the ball, destinations re-check the RLS rule
 //     against their live loads and land or refuse it, and refused balls
@@ -42,6 +48,12 @@ import (
 //     kinds — and the stale load snapshot used by the proposal filter is
 //     refreshed.
 //
+// Epoch workers are a persistent pool: Run spawns one goroutine per shard
+// and dispatches each epoch and barrier phase as a small message over a
+// per-shard channel, so the steady-state epoch loop performs no
+// allocations at all — no goroutine spawns, no closure captures, no
+// channel-of-proposals resizing — which the allocation benchmarks assert.
+//
 // Granularity: with P > 1 stop conditions, traces, and the activation
 // budget are checked at epoch barriers only, so runs may overshoot a
 // target by up to one epoch — the sharded analogue of the jump engine's
@@ -51,9 +63,29 @@ import (
 // fixed-seed output byte-identical to NewEngine's — the equivalence tests
 // pin this.
 //
-// Churn (AddBall/RemoveBall) hashes the bin to its owning shard in O(1)
-// and updates that shard's Config and sampler in place, so the Session
-// churn path stays O(1) per event as in the other engine modes.
+// Churn (AddBall/RemoveBall) maps the bin to its owning shard in
+// O(log P) and updates that shard's Config and sampler in place, so the
+// Session churn path stays O(1)-ish per event as in the other engine
+// modes.
+//
+// # Repartitioning (repartition.go)
+//
+// A static contiguous partition load-imbalances as mass drains toward few
+// bins: the shard owning the hot range does nearly all the work while its
+// peers spin on empty epochs. At epoch barriers the engine therefore
+// re-balances the range boundaries work-stealing-style: when the folded
+// per-shard event weights (W_s+X_s for jump shards, ball mass m_s for
+// plain shards) report one shard carrying more than 1.5x its fair share,
+// new cuts are computed from per-bin weights (loadvec.BalancedCuts) and
+// the boundary bins migrate — the affected shards' Configs, samplers,
+// level indexes, and dirty journals are rebuilt over their new ranges and
+// the stale census is reconstructed under the new cuts. Every decision is
+// a pure function of the folded barrier state, taken single-threaded
+// between epochs, so fixed (seed, P) still reproduces the run exactly;
+// P = 1 never repartitions, keeping the byte-identical equivalence.
+// Declined checks (the imbalance is intrinsic, e.g. one overloaded bin)
+// back off exponentially so end-game per-move barriers are not taxed with
+// O(n) scans.
 //
 // # Jump mode (NewShardedJump)
 //
@@ -68,7 +100,7 @@ import (
 // passing the stale filter) with probability (W_s+X_s)/(m_s·n), so each
 // shard skips its null activations in Geometric blocks with Erlang time
 // gaps, just like the jump engine, and classifies each event as local
-// (apply immediately, weight W_s) or cross-shard (queue the proposal,
+// (apply immediately, weight W_s) or cross-shard (append the proposal,
 // weight X_s). Blocks crossing the epoch horizon are truncated exactly —
 // the nulls in the remaining window are a thinned Poisson draw and the
 // clock lands on the horizon — so jump shards meet every barrier on the
@@ -81,10 +113,11 @@ import (
 // ExternalPrefixUpdated window per peer shard per changed bin,
 // O(changed·P·Δ) total, i.e. O(changed·Δ) at the small constant shard
 // counts in play — instead of recopying the snapshot and rebuilding
-// every table in O(n + P·Δ). A coarse dense epoch that dirties ≳ n/4 bins falls back to
-// the from-scratch rebuild (cheaper at that density); end-game per-move
-// epochs never do, which is what keeps the per-move barrier cost
-// independent of n (BenchmarkShardedJumpEndGame measures it at two sizes).
+// every table in O(n + P·Δ). A coarse dense epoch that dirties ≳ n/4 bins
+// falls back to the from-scratch rebuild (cheaper at that density);
+// end-game per-move epochs never do, which is what keeps the per-move
+// barrier cost independent of n (BenchmarkShardedJumpEndGame measures it
+// at two sizes).
 //
 // Epochs adapt: in auto mode the epoch length starts at the dense
 // activation-sized epoch and shrinks proportionally to the folded global
@@ -109,8 +142,12 @@ type Sharded struct {
 	horizon float64
 	w0      int64 // largest folded move weight seen this Run (adaptive anchor)
 
+	// cuts are the live partition boundaries: shard i owns global bins
+	// [cuts[i], cuts[i+1]). Initially loadvec.Cuts(n, p); repartitioning
+	// moves them at barriers (repartition.go).
+	cuts   []int
 	shards []*shard
-	cfgs   []*loadvec.Config // shard Configs, fixed at construction (refold scratch)
+	cfgs   []*loadvec.Config // shard Configs (refold scratch; repartition swaps entries)
 	root   *rng.RNG
 	stale  []int // global loads as of the last reconciliation (filter only)
 
@@ -129,10 +166,27 @@ type Sharded struct {
 
 	// inline, set per epoch in jump mode, runs the epoch and barrier
 	// phases on the calling goroutine: an end-game epoch holds ~one event,
-	// so there is no parallelism to exploit and the goroutine spawns would
-	// dominate the barrier. Draw sequences are per-shard streams either
-	// way, so the output is bit-identical to the parallel schedule.
+	// so there is no parallelism to exploit and even the pool's channel
+	// round-trips would dominate the barrier. Draw sequences are per-shard
+	// streams either way, so the output is bit-identical to the parallel
+	// schedule.
 	inline bool
+
+	// Persistent worker pool (P > 1, spawned once per Run): each epoch and
+	// barrier phase is dispatched as a phase id over per-shard channels —
+	// no per-phase goroutines, no closures, zero steady-state allocations.
+	work     []chan uint8
+	phaseWG  sync.WaitGroup // one phase's completion
+	poolWG   sync.WaitGroup // pool teardown
+	epochEnd float64        // the running epoch's horizon (set before dispatch)
+
+	// Repartition policy state (repartition.go).
+	repartEnabled bool
+	repartWait    int // barriers until the next O(n) repartition scan is allowed
+	repartBackoff int // current decline backoff, doubling up to repartBackoffMax
+	repartitions  int64
+	binWeights    []int64 // scratch: per-bin event weights for cut placement
+	histScratch   []int64 // scratch: global level histogram (jump weights)
 
 	// Folded global view (refreshed at each barrier and churn event).
 	stats loadvec.FoldedStats
@@ -151,7 +205,7 @@ type Sharded struct {
 
 // shard is one worker's private slice of the system: the bins [lo, hi),
 // their Config and sampler, a deterministic RNG stream, a local clock,
-// and the bounded outbox for cross-shard move proposals.
+// and the outbox slice for cross-shard move proposals.
 type shard struct {
 	id     int
 	lo, hi int
@@ -163,8 +217,18 @@ type shard struct {
 	acts     int64
 	moves    int64 // intra-shard protocol moves
 	proposed int64
+	landed   int64 // cross-shard moves applied at this shard (cumulative)
 
-	out chan proposal
+	// out is the epoch's cross-shard proposal outbox. Only the owning
+	// shard appends during an epoch and only it drains at the barrier
+	// (detach phase), so a plain slice — reset to [:0], grown once —
+	// replaces the bounded channel the engine used to pay a send/recv
+	// plus periodic reallocation for.
+	out []proposal
+
+	// Batched-draw scratch (plain mode, P > 1): per-chunk uniform ball
+	// ids and destination bins, filled by rng.FillIntn.
+	idxBuf, dstBuf []int32
 
 	// Dirty journal (jump mode, P > 1): the local bins whose live load may
 	// have drifted from the stale snapshot since the last reconciliation.
@@ -176,10 +240,10 @@ type shard struct {
 	dirtyMark []bool
 
 	// Barrier scratch, indexed by peer shard id. inbox[s] is written by
-	// shard s in phase A and read by this shard in phase B; reject[s] is
-	// written by this shard in phase B and read by shard s in phase C —
-	// each slot has exactly one owner per phase, with the barrier
-	// WaitGroups ordering the handover.
+	// shard s in the detach phase and read by this shard in the land
+	// phase; reject[s] is written by this shard in the land phase and
+	// read by shard s in the restore phase — each slot has exactly one
+	// owner per phase, with the phase barriers ordering the handover.
 	inbox  [][]handoff
 	reject [][]int32
 }
@@ -238,6 +302,11 @@ const DefaultShards = 4
 // track the process closely, coarse enough to amortize the barrier.
 const shardedActsPerEpoch = 256
 
+// shardBatch is the chunk size of the plain shard epoch's batched uniform
+// draws: large enough to amortize the per-call RNG state round-trip, small
+// enough to stay in L1.
+const shardBatch = 512
+
 // jumpEventsPerEpochFloor floors the adaptive jump epoch: dt never
 // shrinks below the length holding one expected event globally, so
 // end-game barriers each settle about one jump step — the jump engine's
@@ -288,24 +357,26 @@ func newSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG
 	}
 	n := len(initial)
 	s := &Sharded{
-		n:      n,
-		p:      shards,
-		epoch0: epoch,
-		jump:   jump,
-		root:   root,
-		stale:  append([]int(nil), initial...),
+		n:             n,
+		p:             shards,
+		epoch0:        epoch,
+		jump:          jump,
+		root:          root,
+		cuts:          loadvec.Cuts(n, shards),
+		stale:         append([]int(nil), initial...),
+		repartEnabled: true,
+		repartBackoff: repartCheckBase,
 	}
 	parts := loadvec.Partition(initial, shards)
 	s.cfgs = make([]*loadvec.Config, shards)
 	s.shards = make([]*shard, shards)
 	for i, part := range parts {
-		lo, hi := loadvec.PartitionRange(n, shards, i)
 		r := root
 		if shards > 1 {
 			r = root.Split()
 		}
 		sh := &shard{
-			id: i, lo: lo, hi: hi,
+			id: i, lo: s.cuts[i], hi: s.cuts[i+1],
 			cfg:    loadvec.NewConfig(part),
 			r:      r,
 			inbox:  make([][]handoff, shards),
@@ -315,11 +386,15 @@ func newSharded(initial loadvec.Vector, shards int, epoch float64, root *rng.RNG
 			// Jump shards sample through the level index; no per-ball table.
 			sh.cfg.EnableLevelIndex()
 			if shards > 1 {
-				sh.dirtyMark = make([]bool, hi-lo)
+				sh.dirtyMark = make([]bool, sh.hi-sh.lo)
 			}
 		} else {
 			sh.smp = NewBallList()
 			sh.smp.Reset(part)
+			if shards > 1 {
+				sh.idxBuf = make([]int32, shardBatch)
+				sh.dstBuf = make([]int32, shardBatch)
+			}
 		}
 		s.cfgs[i] = sh.cfg
 		s.shards[i] = sh
@@ -408,15 +483,20 @@ func (s *Sharded) CrossProposed() int64 {
 // barriers.
 func (s *Sharded) CrossApplied() int64 { return s.crossApplied }
 
-// ShardRange returns the global bin range [lo, hi) owned by shard i.
+// ShardRange returns the global bin range [lo, hi) owned by shard i under
+// the live partition (repartitioning moves the boundaries at barriers).
 func (s *Sharded) ShardRange(i int) (lo, hi int) {
-	return loadvec.PartitionRange(s.n, s.p, i)
+	return s.cuts[i], s.cuts[i+1]
 }
 
-// owner returns the shard owning a global bin in O(1).
-func (s *Sharded) owner(bin int) int { return loadvec.PartitionOwner(s.n, s.p, bin) }
+// Cuts returns a copy of the live partition boundary vector: shard i owns
+// [Cuts()[i], Cuts()[i+1]).
+func (s *Sharded) Cuts() []int { return append([]int(nil), s.cuts...) }
 
-// Load returns the live load of a global bin in O(1) via the owning
+// owner returns the shard owning a global bin in O(log P).
+func (s *Sharded) owner(bin int) int { return loadvec.CutsOwner(s.cuts, bin) }
+
+// Load returns the live load of a global bin in O(log P) via the owning
 // shard (always current: shard state only changes inside Run).
 func (s *Sharded) Load(bin int) int {
 	sh := s.shards[s.owner(bin)]
@@ -522,7 +602,8 @@ func (s *Sharded) RandomBin() int {
 }
 
 // refold refreshes the folded global stats from the shard Configs (O(P),
-// allocation-free: the Config pointers are fixed at construction).
+// allocation-free: the cfgs slice is reused; repartitioning swaps entries
+// in place).
 func (s *Sharded) refold() {
 	s.stats = loadvec.FoldStats(s.cfgs...)
 }
@@ -562,6 +643,10 @@ func (s *Sharded) run(stop ShardedStop, maxActivations, every int64, traced bool
 	}
 	s.w0 = 0
 	s.sizeEpoch()
+	if s.p > 1 {
+		s.startWorkers()
+		defer s.stopWorkers()
+	}
 
 	var trace []TracePoint
 	var nextRecord int64
@@ -678,39 +763,6 @@ func (s *Sharded) sizeEpochJump() {
 	s.dt = dt
 }
 
-// sizeQueues grows each shard's bounded proposal queue to 4x the epoch's
-// expected activation count, re-read from the shard's *live* ball count
-// every epoch: cross-shard moves and churn migrate ball mass between
-// shards, and a queue sized from a stale count would cap a now-heavy
-// shard's epoch budget far below its activation rate, silently stalling
-// its clock behind the others. Queues are empty between barriers, so
-// replacing the channel is safe.
-func (s *Sharded) sizeQueues() {
-	for _, sh := range s.shards {
-		want := 4*int(s.dt*float64(sh.cfg.M())) + 64
-		if sh.out == nil || cap(sh.out) < want {
-			sh.out = make(chan proposal, want)
-		}
-	}
-}
-
-// sizeQueuesJump sizes the proposal queues for a jump epoch from the
-// expected proposal count dt·X_s/n (the external weight is the proposal
-// rate) rather than the raw activation count, which jump epochs skip.
-// As in sizeQueues, a full queue only barriers the shard early.
-func (s *Sharded) sizeQueuesJump() {
-	for _, sh := range s.shards {
-		exp := int(s.dt * float64(sh.cfg.ExternalMoveWeight()) / float64(s.n))
-		want := 4*exp + 64
-		if want > 1<<16 {
-			want = 1 << 16
-		}
-		if sh.out == nil || cap(sh.out) < want {
-			sh.out = make(chan proposal, want)
-		}
-	}
-}
-
 // runEpochSingleJump is the P = 1 degenerate path of the sharded jump
 // engine: the jump engine's exact step loop (same RNG draws from the root
 // stream, same horizon clamping, stop checked after every step — keep the
@@ -789,8 +841,86 @@ func (s *Sharded) runEpochSingle(maxActivations int64, check func() bool) bool {
 	return false
 }
 
+// Worker-pool phase ids: one epoch phase plus the three barrier phases,
+// dispatched over per-shard channels to the persistent workers.
+const (
+	phaseEpoch uint8 = iota
+	phaseDetach
+	phaseLand
+	phaseRestore
+)
+
+// runPhase executes one phase for one shard (on a pool worker, or on the
+// coordinator when inline/P = 1).
+func (s *Sharded) runPhase(ph uint8, sh *shard) {
+	switch ph {
+	case phaseEpoch:
+		if s.jump {
+			s.runShardEpochJump(sh, s.epochEnd)
+		} else {
+			s.runShardEpoch(sh, s.epochEnd)
+		}
+	case phaseDetach:
+		s.detachPhase(sh)
+	case phaseLand:
+		s.landPhase(sh)
+	case phaseRestore:
+		s.restorePhase(sh)
+	}
+}
+
+// runPhases runs one phase across all shards, concurrently via the worker
+// pool for P > 1 (inline on the coordinator when there is nothing to
+// parallelize). Coordinator writes made before the dispatch are visible
+// to the workers through the channel sends, and worker writes are visible
+// to the coordinator through the WaitGroup — the only synchronization the
+// epoch loop performs, none of which allocates.
+func (s *Sharded) runPhases(ph uint8) {
+	if s.p == 1 || s.inline || s.work == nil {
+		for _, sh := range s.shards {
+			s.runPhase(ph, sh)
+		}
+		return
+	}
+	s.phaseWG.Add(s.p)
+	for _, w := range s.work {
+		w <- ph
+	}
+	s.phaseWG.Wait()
+}
+
+// startWorkers spawns the persistent worker pool: one goroutine per shard
+// for the duration of the Run, each draining phase ids from its own
+// channel. Spawning once per Run instead of 4P goroutines per epoch is
+// what makes the steady-state epoch loop allocation-free.
+func (s *Sharded) startWorkers() {
+	s.work = make([]chan uint8, s.p)
+	for i, sh := range s.shards {
+		ch := make(chan uint8, 1)
+		s.work[i] = ch
+		s.poolWG.Add(1)
+		go func(sh *shard, ch chan uint8) {
+			defer s.poolWG.Done()
+			for ph := range ch {
+				s.runPhase(ph, sh)
+				s.phaseWG.Done()
+			}
+		}(sh, ch)
+	}
+}
+
+// stopWorkers tears the pool down at the end of a Run, so an abandoned
+// engine leaks no goroutines.
+func (s *Sharded) stopWorkers() {
+	for _, ch := range s.work {
+		close(ch)
+	}
+	s.poolWG.Wait()
+	s.work = nil
+}
+
 // runEpochParallel runs one epoch concurrently across the shards and
-// drains the cross-shard queues at the barrier. Jump epochs re-size
+// drains the cross-shard outboxes at the barrier. Jump epochs re-size
 // adaptively first and clamp the epoch horizon at the run horizon, so a
 // time-targeted run's final barrier lands exactly on the target.
 func (s *Sharded) runEpochParallel() {
@@ -801,55 +931,63 @@ func (s *Sharded) runEpochParallel() {
 			end = s.horizon
 		}
 		// Below ~one event per worker the epoch has nothing to parallelize;
-		// run it (and its barrier) inline instead of paying 3P goroutine
-		// spawns per settled move.
+		// run it (and its barrier) inline instead of paying 4P channel
+		// round-trips per settled move.
 		s.inline = s.dt*float64(s.stats.W) < 4*float64(s.p)*float64(s.n)
-		s.sizeQueuesJump()
-		s.parallel(func(sh *shard) { s.runShardEpochJump(sh, end) })
+		s.epochEnd = end
+		s.runPhases(phaseEpoch)
 		s.barrier()
 		s.inline = false
 		return
 	}
-	s.sizeQueues()
-	end := s.time + s.dt
-	s.parallel(func(sh *shard) { sh.runEpoch(end, s.n, s.stale) })
+	s.epochEnd = s.time + s.dt
+	s.runPhases(phaseEpoch)
 	s.barrier()
 }
 
-// runEpoch advances one shard to the epoch horizon: local moves apply
-// immediately; cross-shard candidates that pass the stale-load filter are
-// queued for the barrier. The only other exit is a full queue — checked
-// before each activation, so a send can never block — which just barriers
-// the shard early at its current clock: the exponential gaps are
-// memoryless, so an early barrier refines the shard's epoch granularity
-// without changing the process law, and the shard resumes from its own
-// clock next epoch (also how a lagging shard catches up to the horizon).
-func (sh *shard) runEpoch(end float64, n int, stale []int) {
+// runShardEpoch advances one plain shard to the epoch horizon in one
+// batched block. The shard's activation count over the window is
+// K ~ Poisson(m_s·dt) — the count of its rate-m_s Poisson stream with the
+// Exp gaps integrated out, the same law the per-gap loop simulated — and
+// the K activations draw their uniform ball ids and destination bins in
+// flat chunks (rng.FillIntn into per-shard scratch), resolved against the
+// live ball table at event time. Local moves apply immediately;
+// cross-shard candidates that pass the stale-load filter append to the
+// outbox slice for the barrier. Nothing here allocates in steady state:
+// the scratch arrays are fixed and the outbox is reset to [:0] each
+// barrier.
+func (s *Sharded) runShardEpoch(sh *shard, end float64) {
 	m := sh.cfg.M()
 	if m == 0 {
-		if sh.t < end {
-			sh.t = end
-		}
+		sh.t = end
 		return
 	}
-	fm := float64(m)
-	budget := cap(sh.out)
-	for sent := 0; sh.t < end && sent < budget; {
-		sh.t += sh.r.Exp(fm)
-		sh.acts++
-		src := sh.smp.Sample(sh.r)
-		dst := sh.r.Intn(n)
-		if dst >= sh.lo && dst < sh.hi {
-			l := dst - sh.lo
-			if l != src && sh.cfg.Load(src) >= sh.cfg.Load(l)+1 {
-				sh.cfg.Move(src, l)
-				sh.smp.MoveBall(src, l)
-				sh.moves++
+	k := sh.r.Poisson(float64(m) * (end - sh.t))
+	sh.t = end
+	sh.acts += k
+	for k > 0 {
+		b := shardBatch
+		if int64(b) > k {
+			b = int(k)
+		}
+		k -= int64(b)
+		ids, dsts := sh.idxBuf[:b], sh.dstBuf[:b]
+		sh.r.FillIntn(m, ids)
+		sh.r.FillIntn(s.n, dsts)
+		for j := 0; j < b; j++ {
+			src := sh.smp.Bin(int(ids[j]))
+			dst := int(dsts[j])
+			if dst >= sh.lo && dst < sh.hi {
+				l := dst - sh.lo
+				if l != src && sh.cfg.Load(src) >= sh.cfg.Load(l)+1 {
+					sh.cfg.Move(src, l)
+					sh.smp.MoveBall(src, l)
+					sh.moves++
+				}
+			} else if sh.cfg.Load(src) >= s.stale[dst]+1 {
+				sh.out = append(sh.out, proposal{int32(sh.lo + src), int32(dst)})
+				sh.proposed++
 			}
-		} else if sh.cfg.Load(src) >= stale[dst]+1 {
-			sh.out <- proposal{int32(sh.lo + src), int32(dst)}
-			sh.proposed++
-			sent++
 		}
 	}
 }
@@ -860,12 +998,11 @@ func (sh *shard) runEpoch(end float64, n int, stale []int) {
 // activation is eventful with probability (W+X)/(m_s·n), so the block
 // length is Geometric of that and the time gap Erlang. The closing event
 // is a local move with odds W : X — applied immediately, exactly as in
-// runEpoch — or a cross-shard proposal already known to pass the stale
-// filter, queued for the barrier. A block that would cross the horizon is
-// truncated exactly (the nulls in the remaining window are a thinned
-// Poisson draw, the clock lands on the horizon), so jump shards meet
-// every barrier on the dot; a full queue barriers the shard early at its
-// current clock, which the memoryless gaps make law-preserving.
+// runShardEpoch — or a cross-shard proposal already known to pass the
+// stale filter, appended to the outbox for the barrier. A block that
+// would cross the horizon is truncated exactly (the nulls in the
+// remaining window are a thinned Poisson draw, the clock lands on the
+// horizon), so jump shards meet every barrier on the dot.
 func (s *Sharded) runShardEpochJump(sh *shard, end float64) {
 	m := sh.cfg.M()
 	if m == 0 {
@@ -875,8 +1012,7 @@ func (s *Sharded) runShardEpochJump(sh *shard, end float64) {
 		return
 	}
 	fm := float64(m)
-	budget := cap(sh.out)
-	for sent := 0; sh.t < end; {
+	for sh.t < end {
 		w := sh.cfg.MoveWeight()
 		x := sh.cfg.ExternalMoveWeight()
 		ew := w + x
@@ -905,23 +1041,21 @@ func (s *Sharded) runShardEpochJump(sh *shard, end float64) {
 		} else {
 			src, j := sh.cfg.SampleExternalMove(sh.r)
 			dst := s.ext.ExternalBinAt(sh.id, sh.cfg.Load(src)-1, j)
-			sh.out <- proposal{int32(sh.lo + src), int32(dst)}
+			sh.out = append(sh.out, proposal{int32(sh.lo + src), int32(dst)})
 			sh.proposed++
-			if sent++; sent >= budget {
-				return
-			}
 		}
 	}
 }
 
 // rebuildExternal builds the jump mode's external census from the stale
-// snapshot from scratch — O(n + P·Δ) — and installs each shard's external
-// prefix on its level index (a full X_s recompute per shard). This is the
-// reference reconciliation: it runs once at the first jump Run and as the
-// dense-phase fallback of reconcileStale; end-game barriers take the
-// incremental path instead.
+// snapshot from scratch under the live cuts — O(n + P·Δ) — and installs
+// each shard's external prefix on its level index (a full X_s recompute
+// per shard). This is the reference reconciliation: it runs at the first
+// jump Run, as the dense-phase fallback of reconcileStale, and after a
+// repartition (the external populations change with the boundaries);
+// end-game barriers take the incremental path instead.
 func (s *Sharded) rebuildExternal() {
-	s.ext = loadvec.NewStaleIndex(s.stale, s.p)
+	s.ext = loadvec.NewStaleIndexCuts(s.stale, s.cuts)
 	for _, sh := range s.shards {
 		id := sh.id
 		// The closure reads through s.ext, so replacing the census on a later
@@ -975,97 +1109,99 @@ func (s *Sharded) reconcileStale() {
 	}
 }
 
-// barrier drains the proposal queues in three deterministic parallel
-// phases (each phase runs one goroutine per shard over disjoint state,
-// with WaitGroup edges ordering the handovers), then reconciles the
-// folded global stats and the stale snapshot.
-func (s *Sharded) barrier() {
-	// Phase A — source side: drain the shard's own queue in send order,
-	// re-validate against the live source load (it may have changed since
-	// the proposal) and the stale destination filter, detach the ball and
-	// hand it to the destination shard.
-	s.parallel(func(sh *shard) {
-		for {
-			select {
-			case p := <-sh.out:
-				src := int(p.src) - sh.lo
-				ld := sh.cfg.Load(src)
-				if ld >= 1 && ld >= s.stale[p.dst]+1 {
-					sh.cfg.RemoveBall(src)
-					if sh.smp != nil {
-						sh.smp.RemoveBall(src)
-					}
-					sh.mark(src)
-					dst := s.shards[s.owner(int(p.dst))]
-					dst.inbox[sh.id] = append(dst.inbox[sh.id],
-						handoff{p.src, p.dst - int32(dst.lo), int32(ld)})
-				}
-			default:
-				return
+// detachPhase is the barrier's source side: drain the shard's own outbox
+// in send order, re-validate against the live source load (it may have
+// changed since the proposal) and the stale destination filter, detach
+// the ball and hand it to the destination shard's inbox slot.
+func (s *Sharded) detachPhase(sh *shard) {
+	for _, p := range sh.out {
+		src := int(p.src) - sh.lo
+		ld := sh.cfg.Load(src)
+		if ld >= 1 && ld >= s.stale[p.dst]+1 {
+			sh.cfg.RemoveBall(src)
+			if sh.smp != nil {
+				sh.smp.RemoveBall(src)
 			}
+			sh.mark(src)
+			dst := s.shards[s.owner(int(p.dst))]
+			dst.inbox[sh.id] = append(dst.inbox[sh.id],
+				handoff{p.src, p.dst - int32(dst.lo), int32(ld)})
 		}
-	})
-	// Phase B — destination side: walk inboxes in source-shard order and
-	// re-check the RLS rule against the live destination load, so every
-	// landed move satisfies ℓ_src ≥ ℓ_dst + 1 at application time and the
-	// §3 monotonicity of min/max/disc survives sharding.
-	applied := make([]int64, s.p)
-	s.parallel(func(sh *shard) {
-		for from := 0; from < s.p; from++ {
-			for _, h := range sh.inbox[from] {
-				dst := int(h.dstLocal)
-				if int(h.srcLoad) >= sh.cfg.Load(dst)+1 {
-					sh.cfg.AddBall(dst)
-					if sh.smp != nil {
-						sh.smp.AddBall(dst)
-					}
-					sh.mark(dst)
-					applied[sh.id]++
-				} else {
-					sh.reject[from] = append(sh.reject[from], h.srcGlobal)
-				}
-			}
-			sh.inbox[from] = sh.inbox[from][:0]
-		}
-	})
-	// Phase C — restore refused balls at their source (no observable
-	// state ever saw them gone: all three phases are inside one barrier),
-	// then refresh this shard's slice of the stale snapshot. Jump mode
-	// defers the refresh to reconcileStale below, which replays only the
-	// journaled dirty bins instead of recopying the whole range.
-	s.parallel(func(sh *shard) {
-		for _, peer := range s.shards {
-			for _, g := range peer.reject[sh.id] {
-				l := int(g) - sh.lo
-				sh.cfg.AddBall(l)
+	}
+	sh.out = sh.out[:0]
+}
+
+// landPhase is the barrier's destination side: walk inboxes in
+// source-shard order and re-check the RLS rule against the live
+// destination load, so every landed move satisfies ℓ_src ≥ ℓ_dst + 1 at
+// application time and the §3 monotonicity of min/max/disc survives
+// sharding.
+func (s *Sharded) landPhase(sh *shard) {
+	for from := 0; from < s.p; from++ {
+		for _, h := range sh.inbox[from] {
+			dst := int(h.dstLocal)
+			if int(h.srcLoad) >= sh.cfg.Load(dst)+1 {
+				sh.cfg.AddBall(dst)
 				if sh.smp != nil {
-					sh.smp.AddBall(l)
+					sh.smp.AddBall(dst)
 				}
-				sh.mark(l)
+				sh.mark(dst)
+				sh.landed++
+			} else {
+				sh.reject[from] = append(sh.reject[from], h.srcGlobal)
 			}
-			peer.reject[sh.id] = peer.reject[sh.id][:0]
 		}
-		if !s.jump {
-			copy(s.stale[sh.lo:sh.hi], sh.cfg.Loads())
+		sh.inbox[from] = sh.inbox[from][:0]
+	}
+}
+
+// restorePhase restores refused balls at their source (no observable
+// state ever saw them gone: all three phases are inside one barrier),
+// then refreshes this shard's slice of the stale snapshot. Jump mode
+// defers the refresh to reconcileStale, which replays only the journaled
+// dirty bins instead of recopying the whole range.
+func (s *Sharded) restorePhase(sh *shard) {
+	for _, peer := range s.shards {
+		for _, g := range peer.reject[sh.id] {
+			l := int(g) - sh.lo
+			sh.cfg.AddBall(l)
+			if sh.smp != nil {
+				sh.smp.AddBall(l)
+			}
+			sh.mark(l)
 		}
-	})
+		peer.reject[sh.id] = peer.reject[sh.id][:0]
+	}
+	if !s.jump {
+		copy(s.stale[sh.lo:sh.hi], sh.cfg.Loads())
+	}
+}
+
+// barrier drains the proposal outboxes in three deterministic parallel
+// phases (each phase runs once per shard over disjoint state, with the
+// phase barriers ordering the handovers), then reconciles the folded
+// global stats and the stale snapshot, and lets the repartition policy
+// re-balance the shard ranges.
+func (s *Sharded) barrier() {
+	s.runPhases(phaseDetach)
+	s.runPhases(phaseLand)
+	s.runPhases(phaseRestore)
 
 	// Reconcile: fold counters and histogram extremes into the global view.
-	var acts, moves, proposed int64
+	var acts, moves, proposed, landed int64
 	maxT := s.time
 	for _, sh := range s.shards {
 		acts += sh.acts
 		moves += sh.moves
 		proposed += sh.proposed
+		landed += sh.landed
 		if sh.t > maxT {
 			maxT = sh.t
 		}
 	}
-	for _, a := range applied {
-		s.crossApplied += a
-	}
 	s.acts = acts
-	s.moves = moves + s.crossApplied
+	s.crossApplied = landed
+	s.moves = moves + landed
 	s.crossProposed = proposed
 	s.time = maxT
 	if s.jump {
@@ -1075,25 +1211,7 @@ func (s *Sharded) barrier() {
 		s.reconcileStale()
 	}
 	s.refold()
-}
-
-// parallel runs fn once per shard, concurrently for P > 1.
-func (s *Sharded) parallel(fn func(sh *shard)) {
-	if s.p == 1 || s.inline {
-		for _, sh := range s.shards {
-			fn(sh)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(s.p)
-	for _, sh := range s.shards {
-		go func(sh *shard) {
-			defer wg.Done()
-			fn(sh)
-		}(sh)
-	}
-	wg.Wait()
+	s.maybeRepartition()
 }
 
 // Validate cross-checks every shard's tracked statistics and the folded

@@ -1,31 +1,51 @@
 #!/usr/bin/env bash
 # bench.sh runs the perf-trajectory benchmark suite and writes the results
-# as JSON (default BENCH_PR6.json) so successive PRs can track the hot
-# paths: whole-run balancing cost (BenchmarkBalanceToPerfection), the
-# direct-vs-jump end-game comparisons — plain (BenchmarkEndGame), strict
-# tie rule (BenchmarkStrictEndGame), and ring/torus/hypercube topologies
+# as JSON so successive PRs can track the hot paths: whole-run balancing
+# cost (BenchmarkBalanceToPerfection), the direct-vs-jump end-game
+# comparisons — plain (BenchmarkEndGame), strict tie rule
+# (BenchmarkStrictEndGame), and ring/torus/hypercube topologies
 # (BenchmarkGraphEndGame) — live churn (BenchmarkSessionChurn), the
-# direct-vs-sharded dense regime (BenchmarkShardedDense), and the
-# sharded-jump composition — end-game scaffolding price
-# (BenchmarkShardedJumpEndGame) and the adaptive-epoch dense→sparse run
-# (BenchmarkShardedJumpDenseToSparse). Shard ratios need as many hardware
-# threads as shards — the JSON header records the core count.
+# direct-vs-sharded dense regime (BenchmarkShardedDense), the sharded-jump
+# composition (BenchmarkShardedJumpEndGame,
+# BenchmarkShardedJumpDenseToSparse), and the parallel epoch loop's
+# allocation profile (BenchmarkShardedEpochSteadyState). Unless SCALING=0,
+# the rlsweep -scaling study's speedup-vs-P cells are appended to the same
+# file. Shard ratios need as many hardware threads as shards — the JSON
+# header records the core count and GOMAXPROCS.
+#
+# The default output name is derived from the tracked files: highest
+# existing BENCH_PR<k>.json plus one, so recording a new PR's numbers is
+# just `make bench` with no per-PR script edit.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=5x scripts/bench.sh   # override go test -benchtime
+#   BENCHTIME=5x scripts/bench.sh            # override go test -benchtime
+#   SCALING=0 scripts/bench.sh               # skip the scaling study
+#   SCALINGN=2048 SCALINGREPS=1 scripts/bench.sh   # shrink it (CI smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR6.json}
+# Highest tracked PR number, compared numerically — `ls | sort | tail`
+# would order BENCH_PR10.json before BENCH_PR2.json.
+max_pr=0
+for f in BENCH_PR*.json; do
+  [ -e "$f" ] || continue
+  n=${f#BENCH_PR}
+  n=${n%.json}
+  case $n in *[!0-9]* | '') continue ;; esac
+  if [ "$n" -gt "$max_pr" ]; then max_pr=$n; fi
+done
+out=${1:-BENCH_PR$((max_pr + 1)).json}
 benchtime=${BENCHTIME:-3x}
-pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|BenchmarkGraphEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse)$'
+gomaxprocs=${GOMAXPROCS:-$(nproc)}
+pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|BenchmarkGraphEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse|BenchmarkShardedEpochSteadyState)$'
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+scaling_json=$(mktemp)
+trap 'rm -f "$raw" "$scaling_json"' EXIT
 # Fail fast and loud: a nonzero `go test -bench` (build error, panic,
 # b.Fatal) must fail this script before any JSON is written, or CI would
 # cat a truncated file as success.
-if ! go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 30m . | tee "$raw"; then
+if ! go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 30m ./... | tee "$raw"; then
   echo "bench.sh: go test -bench exited nonzero; not writing $out" >&2
   exit 1
 fi
@@ -34,10 +54,23 @@ if ! grep -q '^Benchmark' "$raw"; then
   exit 1
 fi
 
-awk -v benchtime="$benchtime" -v cores="$(nproc)" '
+# The scaling study's cells ride in the same file (names Scaling*). The
+# default sweep caps at P=4 so the recorded names stay identical across
+# dev boxes and CI runners regardless of their core counts.
+: > "$scaling_json"
+if [ "${SCALING:-1}" != 0 ]; then
+  go run ./cmd/rlsweep -scaling \
+    ${SCALINGN:+-scalingn "$SCALINGN"} \
+    ${SCALINGREPS:+-scalingreps "$SCALINGREPS"} \
+    -scalingmaxp "${SCALINGMAXP:-4}" \
+    -scalingjson "$scaling_json"
+fi
+
+awk -v benchtime="$benchtime" -v cores="$(nproc)" -v gomaxprocs="$gomaxprocs" \
+  -v scaling="$scaling_json" '
 BEGIN {
   print "["
-  printf "  {\"suite\": \"rls-perf\", \"benchtime\": \"%s\", \"cores\": %s}", benchtime, cores
+  printf "  {\"suite\": \"rls-perf\", \"benchtime\": \"%s\", \"cores\": %s, \"gomaxprocs\": %s}", benchtime, cores, gomaxprocs
 }
 /^Benchmark/ {
   name = $1
@@ -51,7 +84,16 @@ BEGIN {
   }
   printf "}"
 }
-END { print "\n]" }
+END {
+  while ((getline line < scaling) > 0) {
+    if (line ~ /"name"/) {
+      sub(/,[ \t]*$/, "", line)
+      sub(/^[ \t]+/, "", line)
+      printf ",\n  %s", line
+    }
+  }
+  print "\n]"
+}
 ' "$raw" > "$out"
 
 echo "wrote $out"

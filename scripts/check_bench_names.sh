@@ -1,23 +1,53 @@
 #!/usr/bin/env bash
 # check_bench_names.sh guards the tracked perf trajectory: every benchmark
-# name recorded in the newest tracked BENCH_PR*.json must still appear in
-# a fresh smoke run's JSON. A benchmark that is deleted or renamed would
-# otherwise silently fall out of the trajectory while CI stays green.
+# name recorded in the newest tracked BENCH_PR*.json (scaling cells
+# included) must still appear in the union of the given fresh smoke files.
+# A benchmark that is deleted or renamed would otherwise silently fall out
+# of the trajectory while CI stays green.
 #
-# Usage: scripts/check_bench_names.sh <smoke.json> [tracked.json]
-#   (tracked defaults to the highest-numbered BENCH_PR*.json in the repo)
+# Usage: scripts/check_bench_names.sh [-t tracked.json] <smoke.json>...
+#   (tracked defaults to the highest-numbered BENCH_PR*.json, compared
+#    numerically so BENCH_PR10.json outranks BENCH_PR2.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-smoke=${1:?usage: check_bench_names.sh <smoke.json> [tracked.json]}
-tracked=${2:-$(ls BENCH_PR*.json | sort -V | tail -n 1)}
+tracked=""
+while getopts t: opt; do
+  case $opt in
+    t) tracked=$OPTARG ;;
+    *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+[ $# -ge 1 ] || {
+  echo "usage: check_bench_names.sh [-t tracked.json] <smoke.json>..." >&2
+  exit 2
+}
+
+if [ -z "$tracked" ]; then
+  max_pr=-1
+  for f in BENCH_PR*.json; do
+    [ -e "$f" ] || continue
+    n=${f#BENCH_PR}
+    n=${n%.json}
+    case $n in *[!0-9]* | '') continue ;; esac
+    if [ "$n" -gt "$max_pr" ]; then
+      max_pr=$n
+      tracked=$f
+    fi
+  done
+  [ -n "$tracked" ] || {
+    echo "check_bench_names.sh: no tracked BENCH_PR*.json found" >&2
+    exit 1
+  }
+fi
 
 names() {
-  grep -o '"name": *"[^"]*"' "$1" | sed 's/.*: *"//; s/"$//' | sort -u
+  grep -oh '"name": *"[^"]*"' "$@" | sed 's/.*: *"//; s/"$//' | sort -u
 }
 
 tracked_names=$(names "$tracked")
-smoke_names=$(names "$smoke")
+smoke_names=$(names "$@")
 if [ -z "$tracked_names" ]; then
   echo "check_bench_names.sh: no benchmark names in $tracked" >&2
   exit 1
@@ -25,8 +55,8 @@ fi
 
 missing=$(comm -23 <(printf '%s\n' "$tracked_names") <(printf '%s\n' "$smoke_names"))
 if [ -n "$missing" ]; then
-  echo "check_bench_names.sh: benchmarks tracked in $tracked missing from $smoke:" >&2
+  echo "check_bench_names.sh: benchmarks tracked in $tracked missing from $*:" >&2
   printf '%s\n' "$missing" >&2
   exit 1
 fi
-echo "all $(printf '%s\n' "$tracked_names" | wc -l) tracked benchmark names present in $smoke"
+echo "all $(printf '%s\n' "$tracked_names" | wc -l) tracked benchmark names present in $*"

@@ -14,7 +14,17 @@ cd "$(dirname "$0")/.."
 if [ $# -eq 2 ]; then
   old=$1 new=$2
 else
-  mapfile -t tracked < <(ls BENCH_PR*.json 2>/dev/null | sort -V)
+  # Order by PR number, numerically — a lexicographic `ls | sort` would
+  # put BENCH_PR10.json before BENCH_PR2.json and diff the wrong pair.
+  mapfile -t tracked < <(
+    for f in BENCH_PR*.json; do
+      [ -e "$f" ] || continue
+      n=${f#BENCH_PR}
+      n=${n%.json}
+      case $n in *[!0-9]* | '') continue ;; esac
+      printf '%s\t%s\n' "$n" "$f"
+    done | sort -n | cut -f2
+  )
   if [ "${#tracked[@]}" -lt 2 ]; then
     echo "compare_bench.sh: fewer than two BENCH_PR*.json files; nothing to compare"
     exit 0
