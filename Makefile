@@ -23,8 +23,9 @@ race:
 # balancing runs, direct-vs-jump end-game — plain, strict tie rule, and
 # graph topologies — session churn, direct-vs-sharded dense regime, the
 # sharded-jump composition benches, the allocation-free epoch-loop
-# floor, and the rlsweep -scaling speedup-vs-P cells. compare_bench.sh
-# diffs the two latest tracked files.
+# floor, the rlsweep -scaling speedup-vs-P cells, and the rlsweep
+# -serviceload ServiceLoad* cells (multi-tenant rlsd event→apply p50/p99
+# and throughput). compare_bench.sh diffs the two latest tracked files.
 bench:
 	./scripts/bench.sh
 
@@ -33,3 +34,10 @@ bench:
 .PHONY: scaling
 scaling:
 	go run ./cmd/rlsweep -scaling
+
+# serviceload prints the multi-tenant service load table for this machine
+# (CI's service job runs the full 1000x50x30s study and gates it with
+# scripts/check_service.sh).
+.PHONY: serviceload
+serviceload:
+	go run ./cmd/rlsweep -serviceload

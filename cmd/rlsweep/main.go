@@ -9,6 +9,7 @@
 //	rlsweep -exp T1
 //	rlsweep -exp all -scale full -format csv
 //	rlsweep -scaling -scalingjson scaling.json
+//	rlsweep -serviceload -slsessions 1000 -slrate 50 -slduration 30 -sljson service.json
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/serviceload"
 )
 
 func main() {
@@ -36,6 +38,14 @@ func main() {
 		scalingReps = flag.Int("scalingreps", 0, "scaling: timing repetitions per cell (0 = default 3)")
 		scalingMaxP = flag.Int("scalingmaxp", 0, "scaling: largest shard count swept (0 = GOMAXPROCS)")
 		scalingJSON = flag.String("scalingjson", "", "scaling: also write the cells as a BENCH-style json array")
+
+		svcLoad    = flag.Bool("serviceload", false, "run the multi-tenant service load study instead of experiments")
+		slSessions = flag.Int("slsessions", 0, "serviceload: concurrent tenant sessions (0 = default 64)")
+		slRate     = flag.Float64("slrate", 0, "serviceload: target events/sec per session (0 = default 50)")
+		slDuration = flag.Float64("slduration", 0, "serviceload: generator duration in seconds (0 = default 2)")
+		slBins     = flag.Int("slbins", 0, "serviceload: bins per session (0 = default 64)")
+		slBatch    = flag.Int("slbatch", 0, "serviceload: events per POST batch (0 = default 11)")
+		slJSON     = flag.String("sljson", "", "serviceload: also write the cells as a BENCH-style json array")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -63,6 +73,38 @@ func main() {
 		}
 		if *scalingJSON != "" {
 			if err := writeScalingJSON(*scalingJSON, points); err != nil {
+				fmt.Fprintf(os.Stderr, "rlsweep: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *svcLoad {
+		cfg := serviceload.Config{
+			Sessions:     *slSessions,
+			EventsPerSec: *slRate,
+			Duration:     time.Duration(*slDuration * float64(time.Second)),
+			Bins:         *slBins,
+			BatchSize:    *slBatch,
+			Seed:         *seed,
+		}
+		start := time.Now()
+		res, err := serviceload.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlsweep: serviceload: %v\n", err)
+			os.Exit(1)
+		}
+		tb := serviceload.Table(res, cfg)
+		switch *format {
+		case "csv":
+			tb.RenderCSV(os.Stdout)
+		default:
+			tb.Render(os.Stdout)
+			fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+		}
+		if *slJSON != "" {
+			if err := writeServiceLoadJSON(*slJSON, res, cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "rlsweep: %v\n", err)
 				os.Exit(1)
 			}
@@ -146,6 +188,28 @@ func writeScalingJSON(path string, points []harness.ScalingPoint) error {
 	for _, pt := range points {
 		fmt.Fprintf(f, ",\n  {\"name\": %q, \"ns_per_op\": %.0f, \"speedup\": %.4f}",
 			pt.Name(), pt.NsPerOp, pt.Speedup)
+	}
+	fmt.Fprintln(f, "\n]")
+	return f.Close()
+}
+
+// writeServiceLoadJSON emits the service load cells in the BENCH_PR*.json
+// shape. The header records the study's size so a p99 cell is never read
+// without knowing the offered load behind it; the throughput cell carries
+// the combined error count the zero-loss gate checks.
+func writeServiceLoadJSON(path string, res serviceload.Result, cfg serviceload.Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "[\n  {\"suite\": \"serviceload\", \"cores\": %d, \"gomaxprocs\": %d, \"sessions\": %d, \"accepted\": %d}",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), res.Sessions, res.Accepted)
+	for _, pt := range res.Points() {
+		fmt.Fprintf(f, ",\n  {\"name\": %q, \"ns_per_op\": %.0f", pt.Name, pt.NsPerOp)
+		if pt.Name == "ServiceLoad/throughput" {
+			fmt.Fprintf(f, ", \"events_per_sec\": %.0f, \"errors\": %d", pt.EventsPerSec, pt.Errors)
+		}
+		fmt.Fprintf(f, "}")
 	}
 	fmt.Fprintln(f, "\n]")
 	return f.Close()

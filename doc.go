@@ -162,6 +162,17 @@
 // and regular topologies (not together, and not speeds); the sharded
 // modes run plain RLS on the complete topology only.
 //
+// Concurrency: a Runner is single-use single-goroutine, but a Session —
+// in every cell of the matrix — is safe for concurrent callers. Each
+// Session method serializes on one internal mutex; the Run* methods hold
+// it for the whole simulated stretch, so concurrent churn and stats
+// calls block until the run returns (split long horizons into short
+// RunFor slices to interleave). This is the contract the serving layer
+// builds on: cmd/rlsd hosts thousands of Sessions as tenants behind an
+// HTTP/JSON control plane and an SSE telemetry plane, with one applier
+// goroutine per tenant and concurrent readers on the same Session (see
+// internal/service and cmd/rlsd/README.md).
+//
 // The experiment suite reproducing every figure and claim of the paper
 // lives in internal/harness and is driven by cmd/rlsweep, cmd/rlsfigs and
 // the benchmarks in bench_test.go (`go run ./cmd/rlsweep -list`

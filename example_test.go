@@ -1,9 +1,17 @@
 package rls_test
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
 
 	rls "repro"
+	"repro/internal/service"
 )
 
 // The 30-second quickstart: build a Runner for n bins and m balls,
@@ -103,4 +111,83 @@ func ExampleWithTarget() {
 	// Output:
 	// stopped at exactly t=2: true
 	// discrepancy after 2 time units: 64.00
+}
+
+// The service form: cmd/rlsd hosts many concurrent Sessions as tenants
+// behind an HTTP/JSON control plane with an SSE telemetry plane —
+// internal/service is the embeddable core the daemon wraps. A client
+// creates a session (the JSON config maps onto the WithSession* options),
+// streams churn batches in, and watches convergence frames stream out.
+// Subscribing before posting guarantees the batch's frame follows the
+// initial snapshot, which is what makes this example deterministic.
+func Example_serviceClient() {
+	svc := service.New(service.Config{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Drain(ctx)
+	}()
+
+	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"bins": 8, "balls": 64, "seed": 42, "engine": "jump"}`))
+	if err != nil {
+		panic(err)
+	}
+	var created struct {
+		ID    string `json:"id"`
+		Balls int    `json:"balls"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("created %s: %d balls in 8 bins\n", created.ID, created.Balls)
+
+	stream, err := http.Get(srv.URL + "/v1/sessions/" + created.ID + "/stream")
+	if err != nil {
+		panic(err)
+	}
+	defer stream.Body.Close()
+	frames := bufio.NewScanner(stream.Body)
+	next := func() (t struct {
+		Balls   int     `json:"balls"`
+		Disc    float64 `json:"disc"`
+		Phase   string  `json:"phase"`
+		Applied int64   `json:"applied"`
+	}) {
+		for frames.Scan() {
+			if data, ok := strings.CutPrefix(frames.Text(), "data: "); ok {
+				if err := json.Unmarshal([]byte(data), &t); err != nil {
+					panic(err)
+				}
+				return
+			}
+		}
+		panic("stream ended early")
+	}
+	snap := next()
+	fmt.Printf("snapshot: %d balls\n", snap.Balls)
+
+	// A hot burst on bin 0, then re-balance to perfection — the service
+	// applies the batch in order and publishes one telemetry frame for it.
+	resp, err = http.Post(srv.URL+"/v1/sessions/"+created.ID+"/events", "application/json",
+		strings.NewReader(`{"events": [
+			{"op": "add", "bin": 0}, {"op": "add", "bin": 0}, {"op": "add", "bin": 0},
+			{"op": "add", "bin": 0}, {"op": "add", "bin": 0}, {"op": "add", "bin": 0},
+			{"op": "add", "bin": 0}, {"op": "add", "bin": 0},
+			{"op": "run_to_perfect"}]}`))
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+
+	tel := next()
+	fmt.Printf("after churn: %d balls, disc %.2f, phase %s (%d events applied)\n",
+		tel.Balls, tel.Disc, tel.Phase, tel.Applied)
+	// Output:
+	// created s-1: 64 balls in 8 bins
+	// snapshot: 64 balls
+	// after churn: 72 balls, disc 0.00, phase perfect (9 events applied)
 }

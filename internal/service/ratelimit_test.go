@@ -1,0 +1,75 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketDeterministic drives the token bucket on an injected clock:
+// spend-to-empty, rejection with an honest retry hint, refill at rate,
+// and the burst cap.
+func TestBucketDeterministic(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newBucketAt(10, 20, clock) // 10 tokens/sec, capacity 20
+
+	if ok, _ := b.Take(20); !ok {
+		t.Fatal("full bucket must admit its whole burst")
+	}
+	ok, retry := b.Take(5)
+	if ok {
+		t.Fatal("empty bucket must reject")
+	}
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("retry hint %v, want %v (5 tokens at 10/sec)", retry, want)
+	}
+
+	now = now.Add(time.Second) // refills 10
+	if ok, _ := b.Take(10); !ok {
+		t.Fatal("1s at rate 10 must refill 10 tokens")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("bucket must be empty again")
+	}
+
+	now = now.Add(time.Hour) // refill clamps at burst
+	if ok, _ := b.Take(21); ok {
+		t.Fatal("a take above burst can never succeed")
+	}
+	if ok, _ := b.Take(20); !ok {
+		t.Fatal("burst cap worth of tokens must be available")
+	}
+}
+
+// TestBucketUnlimited pins the -rate 0 escape hatch.
+func TestBucketUnlimited(t *testing.T) {
+	b := NewBucket(0, 0)
+	for i := 0; i < 3; i++ {
+		if ok, retry := b.Take(1e9); !ok || retry != 0 {
+			t.Fatalf("disabled bucket rejected (retry %v)", retry)
+		}
+	}
+}
+
+// TestHistogramQuantile sanity-checks the bucket-interpolated quantiles
+// the p99 gate depends on.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", q)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(200 * time.Microsecond) // bucket (0.0001, 0.00025]
+	}
+	h.Observe(2 * time.Second) // bucket (1, 2.5]
+	if p50 := h.Quantile(0.50); p50 > 250*time.Microsecond {
+		t.Errorf("p50 = %v, want within the 250µs bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 200*time.Microsecond || p99 > 250*time.Microsecond {
+		t.Errorf("p99 = %v, want within the 250µs bucket (99/100 samples below)", p99)
+	}
+	if p100 := h.Quantile(1); p100 < time.Second {
+		t.Errorf("p100 = %v, want in the seconds bucket", p100)
+	}
+}

@@ -1,0 +1,45 @@
+package serviceload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke runs a miniature load study — the same code path
+// CI's service job runs at 1000x50 — and checks the zero-loss invariant
+// plus the /metrics-scraped quantiles.
+func TestLoadSmoke(t *testing.T) {
+	cfg := Config{
+		Sessions:     8,
+		EventsPerSec: 100,
+		Duration:     300 * time.Millisecond,
+		Bins:         32,
+		BatchSize:    5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("load study accepted zero events")
+	}
+	if res.Applied != res.Accepted {
+		t.Errorf("applied %d != accepted %d", res.Applied, res.Accepted)
+	}
+	if res.Errors != 0 || res.Rejected != 0 {
+		t.Errorf("errors=%d rejected=%d, want zero loss", res.Errors, res.Rejected)
+	}
+	if res.P99 <= 0 || res.P50 > res.P99 {
+		t.Errorf("implausible quantiles p50=%v p99=%v", res.P50, res.P99)
+	}
+	pts := res.Points()
+	want := []string{"ServiceLoad/apply/p50", "ServiceLoad/apply/p99", "ServiceLoad/throughput"}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i, pt := range pts {
+		if pt.Name != want[i] {
+			t.Errorf("point %d name %q, want %q", i, pt.Name, want[i])
+		}
+	}
+}

@@ -10,8 +10,10 @@
 # BenchmarkShardedJumpDenseToSparse), and the parallel epoch loop's
 # allocation profile (BenchmarkShardedEpochSteadyState). Unless SCALING=0,
 # the rlsweep -scaling study's speedup-vs-P cells are appended to the same
-# file. Shard ratios need as many hardware threads as shards — the JSON
-# header records the core count and GOMAXPROCS.
+# file, and unless SERVICELOAD=0 so are the rlsweep -serviceload study's
+# ServiceLoad* cells (event→apply p50/p99 and applied throughput of the
+# multi-tenant rlsd service). Shard ratios need as many hardware threads
+# as shards — the JSON header records the core count and GOMAXPROCS.
 #
 # The default output name is derived from the tracked files: highest
 # existing BENCH_PR<k>.json plus one, so recording a new PR's numbers is
@@ -21,6 +23,8 @@
 #   BENCHTIME=5x scripts/bench.sh            # override go test -benchtime
 #   SCALING=0 scripts/bench.sh               # skip the scaling study
 #   SCALINGN=2048 SCALINGREPS=1 scripts/bench.sh   # shrink it (CI smoke)
+#   SERVICELOAD=0 scripts/bench.sh           # skip the service load study
+#   SLSESSIONS=16 SLDURATION=0.5 scripts/bench.sh  # shrink it (CI smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,7 +45,8 @@ pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|
 
 raw=$(mktemp)
 scaling_json=$(mktemp)
-trap 'rm -f "$raw" "$scaling_json"' EXIT
+service_json=$(mktemp)
+trap 'rm -f "$raw" "$scaling_json" "$service_json"' EXIT
 # Fail fast and loud: a nonzero `go test -bench` (build error, panic,
 # b.Fatal) must fail this script before any JSON is written, or CI would
 # cat a truncated file as success.
@@ -66,8 +71,21 @@ if [ "${SCALING:-1}" != 0 ]; then
     -scalingjson "$scaling_json"
 fi
 
+# The service load study's cells ride along too (names ServiceLoad*); the
+# default size is a smoke-scale run — CI's service job records the full
+# 1000x50 study separately and gates it with check_service.sh.
+: > "$service_json"
+if [ "${SERVICELOAD:-1}" != 0 ]; then
+  go run ./cmd/rlsweep -serviceload \
+    ${SLSESSIONS:+-slsessions "$SLSESSIONS"} \
+    ${SLRATE:+-slrate "$SLRATE"} \
+    ${SLDURATION:+-slduration "$SLDURATION"} \
+    ${SLBINS:+-slbins "$SLBINS"} \
+    -sljson "$service_json"
+fi
+
 awk -v benchtime="$benchtime" -v cores="$(nproc)" -v gomaxprocs="$gomaxprocs" \
-  -v scaling="$scaling_json" '
+  -v scaling="$scaling_json" -v serviceload="$service_json" '
 BEGIN {
   print "["
   printf "  {\"suite\": \"rls-perf\", \"benchtime\": \"%s\", \"cores\": %s, \"gomaxprocs\": %s}", benchtime, cores, gomaxprocs
@@ -86,6 +104,13 @@ BEGIN {
 }
 END {
   while ((getline line < scaling) > 0) {
+    if (line ~ /"name"/) {
+      sub(/,[ \t]*$/, "", line)
+      sub(/^[ \t]+/, "", line)
+      printf ",\n  %s", line
+    }
+  }
+  while ((getline line < serviceload) > 0) {
     if (line ~ /"name"/) {
       sub(/,[ \t]*$/, "", line)
       sub(/^[ \t]+/, "", line)

@@ -2,6 +2,7 @@ package rls
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graphs"
@@ -34,7 +35,25 @@ import (
 // joins and leaves stay O(1); the ShardedJumpEngine composes both —
 // parallel shards that each skip their null activations — covering dense
 // stretches and converged stretches in one session.
+//
+// # Concurrency
+//
+// A Session is safe for concurrent use by multiple goroutines: every
+// method acquires one internal mutex, so calls serialize in lock-acquisition
+// order and each observes a consistent engine state. The contract has one
+// sharp edge worth knowing: RunFor and RunUntilPerfect hold the lock for
+// the entire simulated stretch, so churn and stats calls issued while a
+// run is in flight block until it returns — interleave by splitting long
+// horizons into short RunFor slices, exactly what a serving layer's event
+// loop does anyway (cmd/rlsd drives one goroutine per tenant and lets
+// concurrent readers see a frozen-in-time snapshot between events). The
+// sharded modes' worker goroutines live entirely inside a Run call and
+// never touch the Session after it returns, so the mutex covers them too.
 type Session struct {
+	// mu serializes every method; see the Concurrency section above. The
+	// methods below must not call each other while holding it — shared
+	// logic lives in unexported unlocked helpers.
+	mu       sync.Mutex
 	engine   sessionEngine
 	stream   *rng.RNG
 	mode     EngineMode
@@ -204,39 +223,98 @@ func (s *Session) sessionGraph(n int) graphs.Graph {
 	return g
 }
 
-// Mode returns the session's engine mode.
+// Mode returns the session's engine mode. The mode is fixed at
+// construction, so this needs no lock.
 func (s *Session) Mode() EngineMode { return s.mode }
 
 // N returns the number of bins.
-func (s *Session) N() int { return s.engine.Bins() }
+func (s *Session) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Bins()
+}
 
 // M returns the current number of balls.
-func (s *Session) M() int { return s.engine.Balls() }
+func (s *Session) M() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Balls()
+}
 
 // Loads returns a copy of the current load vector.
-func (s *Session) Loads() []int { return s.engine.SnapshotLoads() }
+func (s *Session) Loads() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.SnapshotLoads()
+}
 
 // Disc returns the current discrepancy.
 func (s *Session) Disc() float64 {
-	if s.M() == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engine.Balls() == 0 {
 		return 0
 	}
 	return s.engine.CurrentDisc()
 }
 
 // Time returns the total elapsed continuous time across the session.
-func (s *Session) Time() float64 { return s.engine.Time() }
+func (s *Session) Time() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Time()
+}
 
 // Activations returns the total ball activations across the session.
-func (s *Session) Activations() int64 { return s.engine.Activations() }
+func (s *Session) Activations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Activations()
+}
 
 // Moves returns the total protocol moves across the session.
-func (s *Session) Moves() int64 { return s.engine.Moves() }
+func (s *Session) Moves() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Moves()
+}
+
+// Stats returns one consistent snapshot of the session's scalar counters
+// — time, activations, moves, ball count, and discrepancy — under a
+// single lock acquisition. Concurrent callers reading the counters one
+// method at a time can interleave with churn between the reads; telemetry
+// producers (cmd/rlsd's stream plane) want the atomic view.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionStats{
+		Time:        s.engine.Time(),
+		Activations: s.engine.Activations(),
+		Moves:       s.engine.Moves(),
+		Balls:       s.engine.Balls(),
+	}
+	if st.Balls > 0 {
+		st.Disc = s.engine.CurrentDisc()
+	}
+	return st
+}
+
+// SessionStats is the consistent counter snapshot returned by
+// Session.Stats.
+type SessionStats struct {
+	Time        float64
+	Activations int64
+	Moves       int64
+	Balls       int
+	Disc        float64
+}
 
 // AddBall inserts one ball into the given bin (a user joining): O(1) in
 // direct and sharded modes, O(log Δ) in jump mode.
 func (s *Session) AddBall(bin int) error {
-	if bin < 0 || bin >= s.N() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bin < 0 || bin >= s.engine.Bins() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
 	}
 	s.engine.AddBall(bin)
@@ -246,7 +324,9 @@ func (s *Session) AddBall(bin int) error {
 // AddBallRandom inserts one ball into a uniformly random bin and returns
 // the bin.
 func (s *Session) AddBallRandom() int {
-	bin := s.stream.Intn(s.N())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bin := s.stream.Intn(s.engine.Bins())
 	s.engine.AddBall(bin)
 	return bin
 }
@@ -254,7 +334,9 @@ func (s *Session) AddBallRandom() int {
 // RemoveBall removes one ball from the given bin (a user leaving): O(1)
 // in direct and sharded modes, O(log Δ) in jump mode.
 func (s *Session) RemoveBall(bin int) error {
-	if bin < 0 || bin >= s.N() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bin < 0 || bin >= s.engine.Bins() {
 		return fmt.Errorf("rls: bin %d out of range", bin)
 	}
 	if s.engine.BinLoad(bin) == 0 {
@@ -268,7 +350,9 @@ func (s *Session) RemoveBall(bin int) error {
 // left (balls being identical, removing any resident of a
 // load-proportionally sampled bin removes a uniform ball).
 func (s *Session) RemoveRandomBall() (int, error) {
-	if s.M() == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engine.Balls() == 0 {
 		return 0, fmt.Errorf("rls: no balls to remove")
 	}
 	bin := s.engine.RandomBin()
@@ -277,9 +361,13 @@ func (s *Session) RemoveRandomBall() (int, error) {
 }
 
 // RunFor advances the protocol by duration d of continuous time on the
-// live engine.
+// live engine. The session lock is held for the whole stretch: concurrent
+// churn and stats calls block until the run returns (see the Concurrency
+// section on Session).
 func (s *Session) RunFor(d float64) error {
-	if s.M() == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engine.Balls() == 0 {
 		return fmt.Errorf("rls: session has no balls")
 	}
 	// The budget is relative to the running activation counter: the engine
@@ -290,9 +378,12 @@ func (s *Session) RunFor(d float64) error {
 }
 
 // RunUntilPerfect advances until perfect balance (or the activation
-// budget is exhausted) and reports whether balance was reached.
+// budget is exhausted) and reports whether balance was reached. Like
+// RunFor, the session lock is held until the run returns.
 func (s *Session) RunUntilPerfect(budget int64) (bool, error) {
-	if s.M() == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engine.Balls() == 0 {
 		return false, fmt.Errorf("rls: session has no balls")
 	}
 	if budget <= 0 {
