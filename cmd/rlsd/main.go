@@ -41,6 +41,8 @@ type daemonConfig struct {
 	rate         float64
 	burst        float64
 	drainTimeout time.Duration
+	stateDir     string
+	snapInterval time.Duration
 }
 
 func main() {
@@ -53,6 +55,8 @@ func main() {
 	flag.Float64Var(&cfg.rate, "rate", 1000, "per-session event admission rate, events/sec (0 = unlimited)")
 	flag.Float64Var(&cfg.burst, "burst", 0, "per-session admission burst (0 = 2x rate)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max time to flush queued events on shutdown")
+	flag.StringVar(&cfg.stateDir, "state-dir", "", "tenant snapshot directory: restore on boot, snapshot on shutdown (empty = no durability)")
+	flag.DurationVar(&cfg.snapInterval, "snapshot-interval", 30*time.Second, "periodic tenant snapshot interval with -state-dir (0 = shutdown-only)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"rlsd hosts RLS balancing sessions behind an HTTP/JSON control plane\n"+
@@ -71,6 +75,7 @@ func main() {
 		QueueDepth:  cfg.queueDepth,
 		EventRate:   cfg.rate,
 		EventBurst:  cfg.burst,
+		StateDir:    cfg.stateDir,
 	})
 	if err := run(svc, cfg, nil, logger); err != nil {
 		logger.Fatalf("rlsd: %v", err)
@@ -83,6 +88,13 @@ func main() {
 // ready is non-nil it receives the bound address once listening (the
 // shutdown test dials it).
 func run(svc *service.Service, cfg daemonConfig, ready chan<- string, logger *log.Logger) error {
+	if cfg.stateDir != "" {
+		n, err := svc.RestoreSnapshots(cfg.stateDir)
+		if err != nil {
+			logger.Printf("rlsd: restore from %s: %v", cfg.stateDir, err)
+		}
+		logger.Printf("rlsd: restored %d sessions from %s", n, cfg.stateDir)
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -107,6 +119,20 @@ func run(svc *service.Service, cfg daemonConfig, ready chan<- string, logger *lo
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 
+	// Periodic tenant snapshots bound how much history a crash (as
+	// opposed to a clean SIGTERM) can lose.
+	if cfg.stateDir != "" && cfg.snapInterval > 0 {
+		ticker := time.NewTicker(cfg.snapInterval)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if n, err := svc.SaveSnapshots(cfg.stateDir); err != nil {
+					logger.Printf("rlsd: periodic snapshot (%d saved): %v", n, err)
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		return err // listener failed before any signal
@@ -120,6 +146,18 @@ func run(svc *service.Service, cfg daemonConfig, ready chan<- string, logger *lo
 	m := svc.Metrics()
 	logger.Printf("rlsd: drained (%d/%d events applied, %d sessions live)",
 		m.EventsApplied.Load(), m.EventsAccepted.Load(), m.SessionsLive.Load())
+	if cfg.stateDir != "" {
+		// The appliers have finished, so these snapshots capture every
+		// accepted event; the next boot resumes byte-identically.
+		n, err := svc.SaveSnapshots(cfg.stateDir)
+		if err != nil {
+			logger.Printf("rlsd: shutdown snapshot: %v", err)
+			if drainErr == nil {
+				drainErr = err
+			}
+		}
+		logger.Printf("rlsd: saved %d session snapshots to %s", n, cfg.stateDir)
+	}
 
 	cancelBase() // end SSE streams
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -27,6 +28,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure: 1|2|3|M1|M2|all")
 	seed := flag.Uint64("seed", 1, "random seed")
+	flag.StringVar(&fromTrace, "fromtrace", "", "plot figure M2 from a trace archive (rlsim -traceout) instead of re-simulating")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"rlsfigs regenerates the paper's illustration figures (1-3) and the\n"+
@@ -167,9 +169,18 @@ func figureM1(seed uint64) {
 	}
 }
 
+// fromTrace, when set by -fromtrace, redirects figure M2 onto a
+// recorded trace archive instead of a fresh simulation.
+var fromTrace string
+
 // figureM2 plots one trajectory's discrepancy over time with the phase
-// boundaries marked.
+// boundaries marked. With -fromtrace it replots a recorded archive —
+// the trajectory that actually ran — rather than re-simulating.
 func figureM2(seed uint64) {
+	if fromTrace != "" {
+		figureM2FromTrace(fromTrace)
+		return
+	}
 	fmt.Println("Figure M2 — disc(ℓ(t)) along one run (n=64, m=2048, worst-case start)")
 	res, trace, err := rls.New(64, 2048, rls.WithSeed(seed)).RunTraced(200)
 	if err != nil {
@@ -185,4 +196,49 @@ func figureM2(seed uint64) {
 	fmt.Printf("phase crossings: disc≤96·ln n at t=%.3f; disc≤1 at t=%.3f; perfect at t=%.3f\n",
 		res.Phases.LogBalanced, res.Phases.OneBalanced, res.Phases.Perfect)
 	fmt.Printf("total: time=%.3f activations=%d moves=%d\n", res.Time, res.Activations, res.Moves)
+}
+
+// figureM2FromTrace renders the M2 trajectory from a recorded trace
+// archive (rlsim -traceout): the points are the run's own samples, no
+// re-simulation involved.
+func figureM2FromTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlsfigs: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := rls.OpenTrace(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlsfigs: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	meta := tr.Meta()
+	fmt.Printf("Figure M2 — disc(ℓ(t)) from trace archive %s (n=%d, engine=%s, topology=%s)\n",
+		path, meta.Bins, meta.Mode, meta.Topology)
+	var xs, ys []float64
+	var last *rls.TraceRecord
+	for {
+		item, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlsfigs: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if item.Record == nil {
+			continue // embedded snapshot seek point
+		}
+		xs = append(xs, item.Record.Time+1e-3)
+		ys = append(ys, item.Record.Disc+1e-3)
+		last = item.Record
+	}
+	if last == nil {
+		fmt.Fprintf(os.Stderr, "rlsfigs: %s holds no records\n", path)
+		os.Exit(1)
+	}
+	asciiplot.Series(os.Stdout, "disc vs time (log-log)", xs, ys, 60, 12, true, true)
+	fmt.Printf("total: time=%.3f activations=%d moves=%d balls=%d final-disc=%.3f\n",
+		last.Time, last.Activations, last.Moves, last.Balls, last.Disc)
 }

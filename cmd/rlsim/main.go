@@ -47,7 +47,13 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit the trace as CSV instead of a table (implies -trace)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
+
+		sf sessionFlags
 	)
+	flag.StringVar(&sf.resume, "resume", "", "resume from a snapshot file instead of starting fresh (-n/-m/-seed/engine flags then come from the artifact)")
+	flag.StringVar(&sf.snapshot, "snapshot", "", "write a snapshot of the final state to this file")
+	flag.StringVar(&sf.traceout, "traceout", "", "stream a binary trace archive of the run to this file (decode with rlsdump)")
+	flag.IntVar(&sf.snapEvery, "snapevery", 0, "embed a full snapshot every K trace records in -traceout (0 = initial only)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"rlsim runs one RLS simulation and prints a summary, an optional\n"+
@@ -61,6 +67,9 @@ func main() {
 		*trace = 100
 	}
 	err := withProfiles(*cpuprof, *memprof, func() error {
+		if sf.active() {
+			return runSession(sf, *n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *shards, *strict, *plot && !*csv)
+		}
 		return run(*n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *shards, *strict, *trace, *plot && !*csv, *csv)
 	})
 	if err != nil {

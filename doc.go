@@ -162,6 +162,23 @@
 // and regular topologies (not together, and not speeds); the sharded
 // modes run plain RLS on the complete topology only.
 //
+// Every cell of that matrix is also checkpointable: Session.Snapshot
+// writes the full engine state — loads, per-ball structures, level
+// indices, shard partitions, and the exact RNG stream positions — as a
+// versioned, CRC-framed binary artifact, and ResumeSession rebuilds a
+// Session that continues *byte-identically*: the resumed run draws the
+// same random numbers, makes the same moves, and re-snapshots to the
+// same bytes as the uninterrupted original. Sharded snapshots are taken
+// at epoch barriers, where the stale snapshot equals the live loads, so
+// the contract holds at every P. State whose in-memory order evolved
+// under simulation is serialized verbatim; derived structures (Fenwick
+// trees, position indices) are rebuilt on decode — internal/persist
+// documents the wire format and the split, and TestResumeByteIdentical
+// gates the contract over the whole mode × strict × topology × churn
+// matrix. NewTraceWriter/OpenTrace stream the same machinery into trace
+// archives with embedded snapshots as seek points (cmd/rlsdump decodes
+// both artifact kinds).
+//
 // Concurrency: a Runner is single-use single-goroutine, but a Session —
 // in every cell of the matrix — is safe for concurrent callers. Each
 // Session method serializes on one internal mutex; the Run* methods hold

@@ -3,6 +3,7 @@ package loadvec
 import (
 	"fmt"
 
+	"repro/internal/fenwick"
 	"repro/internal/rng"
 )
 
@@ -36,15 +37,15 @@ import (
 // mid-update, so the two transitions of a Move may be applied
 // sequentially.
 type levelIndex struct {
-	gap    int       // tie rule: eligible destinations have load ≤ v−gap
-	binsAt [][]int32 // level -> bins at that level (unordered)
-	pos    []int32   // bin -> position within binsAt[load]
-	cnt    *fenwick  // count[v]
-	bal    *fenwick  // v·count[v]
-	mvw    *fenwick  // s[v] = v·count[v]·C(v−1)
-	sval   []int64   // current s[v] values (to derive Fenwick deltas)
-	wTotal int64     // W = Σ_v s[v]
-	size   int       // number of indexed levels (levels 0..size-1)
+	gap    int           // tie rule: eligible destinations have load ≤ v−gap
+	binsAt [][]int32     // level -> bins at that level (unordered)
+	pos    []int32       // bin -> position within binsAt[load]
+	cnt    *fenwick.Tree // count[v]
+	bal    *fenwick.Tree // v·count[v]
+	mvw    *fenwick.Tree // s[v] = v·count[v]·C(v−1)
+	sval   []int64       // current s[v] values (to derive Fenwick deltas)
+	wTotal int64         // W = Σ_v s[v]
+	size   int           // number of indexed levels (levels 0..size-1)
 
 	// External-destination extension (SetExternalPrefix): the sharded jump
 	// engine treats the bins of *other* shards, at their stale snapshot
@@ -54,70 +55,9 @@ type levelIndex struct {
 	// the same level transitions. extP does not depend on local counts, so
 	// a transition only dirties x at the two touched levels.
 	extP   func(w int) int64 // nil unless an external prefix is installed
-	xw     *fenwick          // x[v]
+	xw     *fenwick.Tree     // x[v]
 	xval   []int64           // current x[v] values
 	xTotal int64             // X = Σ_v x[v]
-}
-
-// fenwick is a 1-based Fenwick (binary indexed) tree over int64 values
-// with the standard O(log n) point update, prefix sum, and weighted-find
-// descend.
-type fenwick struct {
-	tree []int64
-	n    int
-	top  int // highest power of two ≤ n
-}
-
-func newFenwick(n int) *fenwick {
-	f := &fenwick{tree: make([]int64, n+1), n: n, top: 1}
-	for f.top*2 <= n {
-		f.top *= 2
-	}
-	return f
-}
-
-// newFenwickFrom builds a tree holding the given values in O(n): each node
-// pushes its subtotal up to its parent once instead of paying a point
-// update per entry.
-func newFenwickFrom(vals []int64) *fenwick {
-	f := newFenwick(len(vals))
-	copy(f.tree[1:], vals)
-	for i := 1; i <= f.n; i++ {
-		if j := i + i&(-i); j <= f.n {
-			f.tree[j] += f.tree[i]
-		}
-	}
-	return f
-}
-
-// add adds delta to the value at 0-based index i.
-func (f *fenwick) add(i int, delta int64) {
-	for pos := i + 1; pos <= f.n; pos += pos & (-pos) {
-		f.tree[pos] += delta
-	}
-}
-
-// prefix returns the sum of values at 0-based indices 0..i (0 for i < 0).
-func (f *fenwick) prefix(i int) int64 {
-	var s int64
-	for pos := i + 1; pos > 0; pos -= pos & (-pos) {
-		s += f.tree[pos]
-	}
-	return s
-}
-
-// find returns the smallest 0-based index i with prefix(i) > target,
-// plus the remainder target − prefix(i−1) ∈ [0, value(i)). The caller
-// guarantees 0 ≤ target < total.
-func (f *fenwick) find(target int64) (int, int64) {
-	pos := 0
-	for step := f.top; step > 0; step >>= 1 {
-		if next := pos + step; next <= f.n && f.tree[next] <= target {
-			pos = next
-			target -= f.tree[next]
-		}
-	}
-	return pos, target
 }
 
 // newLevelIndex builds the index for the configuration's current state
@@ -145,28 +85,28 @@ func newLevelIndex(c *Config, gap int) *levelIndex {
 // rebuildTrees derives all three Fenwick trees (and sval/wTotal) from the
 // binsAt lists alone. Used on construction and when the level range grows.
 func (x *levelIndex) rebuildTrees() {
-	x.cnt = newFenwick(x.size)
-	x.bal = newFenwick(x.size)
-	x.mvw = newFenwick(x.size)
+	x.cnt = fenwick.New(x.size)
+	x.bal = fenwick.New(x.size)
+	x.mvw = fenwick.New(x.size)
 	x.wTotal = 0
 	for v, lst := range x.binsAt {
 		if len(lst) == 0 {
 			continue
 		}
-		x.cnt.add(v, int64(len(lst)))
+		x.cnt.Add(v, int64(len(lst)))
 		if v > 0 {
-			x.bal.add(v, int64(v)*int64(len(lst)))
+			x.bal.Add(v, int64(v)*int64(len(lst)))
 		}
 	}
 	for v := range x.sval {
 		x.sval[v] = 0
 		if v > 0 {
 			if cn := int64(len(x.binsAt[v])); cn > 0 {
-				x.sval[v] = int64(v) * cn * x.cnt.prefix(v-x.gap)
+				x.sval[v] = int64(v) * cn * x.cnt.Prefix(v-x.gap)
 			}
 		}
 		if x.sval[v] != 0 {
-			x.mvw.add(v, x.sval[v])
+			x.mvw.Add(v, x.sval[v])
 			x.wTotal += x.sval[v]
 		}
 	}
@@ -179,7 +119,7 @@ func (x *levelIndex) rebuildTrees() {
 // and the installed prefix; called when the prefix changes (every shard
 // barrier) and when the level range grows.
 func (x *levelIndex) rebuildExternal() {
-	x.xw = newFenwick(x.size)
+	x.xw = fenwick.New(x.size)
 	if len(x.xval) < x.size {
 		x.xval = make([]int64, x.size)
 	} else {
@@ -194,7 +134,7 @@ func (x *levelIndex) rebuildExternal() {
 		}
 		if s := int64(v) * int64(len(lst)) * x.extP(v-1); s != 0 {
 			x.xval[v] = s
-			x.xw.add(v, s)
+			x.xw.Add(v, s)
 			x.xTotal += s
 		}
 	}
@@ -233,13 +173,13 @@ func (x *levelIndex) transition(bin, from, to int) {
 	x.pos[bin] = int32(len(x.binsAt[to]))
 	x.binsAt[to] = append(x.binsAt[to], int32(bin))
 
-	x.cnt.add(from, -1)
-	x.cnt.add(to, 1)
+	x.cnt.Add(from, -1)
+	x.cnt.Add(to, 1)
 	if from > 0 {
-		x.bal.add(from, int64(-from))
+		x.bal.Add(from, int64(-from))
 	}
 	if to > 0 {
-		x.bal.add(to, int64(to))
+		x.bal.Add(to, int64(to))
 	}
 	x.refreshWeight(from)
 	x.refreshWeight(to)
@@ -266,11 +206,11 @@ func (x *levelIndex) refreshWeight(v int) {
 	var s int64
 	if v > 0 {
 		if cn := int64(len(x.binsAt[v])); cn > 0 {
-			s = int64(v) * cn * x.cnt.prefix(v-x.gap)
+			s = int64(v) * cn * x.cnt.Prefix(v-x.gap)
 		}
 	}
 	if d := s - x.sval[v]; d != 0 {
-		x.mvw.add(v, d)
+		x.mvw.Add(v, d)
 		x.sval[v] = s
 		x.wTotal += d
 	}
@@ -287,7 +227,7 @@ func (x *levelIndex) refreshExternal(v int) {
 		}
 	}
 	if d := s - x.xval[v]; d != 0 {
-		x.xw.add(v, d)
+		x.xw.Add(v, d)
 		x.xval[v] = s
 		x.xTotal += d
 	}
@@ -299,9 +239,9 @@ func (x *levelIndex) clone() *levelIndex {
 		gap:    x.gap,
 		binsAt: make([][]int32, len(x.binsAt)),
 		pos:    append([]int32(nil), x.pos...),
-		cnt:    &fenwick{tree: append([]int64(nil), x.cnt.tree...), n: x.cnt.n, top: x.cnt.top},
-		bal:    &fenwick{tree: append([]int64(nil), x.bal.tree...), n: x.bal.n, top: x.bal.top},
-		mvw:    &fenwick{tree: append([]int64(nil), x.mvw.tree...), n: x.mvw.n, top: x.mvw.top},
+		cnt:    x.cnt.Clone(),
+		bal:    x.bal.Clone(),
+		mvw:    x.mvw.Clone(),
 		sval:   append([]int64(nil), x.sval...),
 		wTotal: x.wTotal,
 		size:   x.size,
@@ -310,7 +250,7 @@ func (x *levelIndex) clone() *levelIndex {
 		xTotal: x.xTotal,
 	}
 	if x.xw != nil {
-		cp.xw = &fenwick{tree: append([]int64(nil), x.xw.tree...), n: x.xw.n, top: x.xw.top}
+		cp.xw = x.xw.Clone()
 	}
 	for v, lst := range x.binsAt {
 		if len(lst) > 0 {
@@ -382,11 +322,11 @@ func (c *Config) SampleMovePair(r *rng.RNG) (src, dst int) {
 	if x.wTotal <= 0 {
 		panic("loadvec: SampleMovePair with zero move weight")
 	}
-	v, _ := x.mvw.find(r.Int63n(x.wTotal))
+	v, _ := x.mvw.Find(r.Int63n(x.wTotal))
 	lst := x.binsAt[v]
 	src = int(lst[r.Intn(len(lst))])
-	below := x.cnt.prefix(v - x.gap) // ≥ 1: s[v] > 0 requires an eligible level
-	w, rem := x.cnt.find(r.Int63n(below))
+	below := x.cnt.Prefix(v - x.gap) // ≥ 1: s[v] > 0 requires an eligible level
+	w, rem := x.cnt.Find(r.Int63n(below))
 	dst = int(x.binsAt[w][rem])
 	return src, dst
 }
@@ -478,7 +418,7 @@ func (c *Config) SampleExternalMove(r *rng.RNG) (src int, j int64) {
 	if x.xTotal <= 0 {
 		panic("loadvec: SampleExternalMove with zero external weight")
 	}
-	v, rem := x.xw.find(r.Int63n(x.xTotal))
+	v, rem := x.xw.Find(r.Int63n(x.xTotal))
 	ext := x.extP(v - 1)
 	cn := int64(len(x.binsAt[v]))
 	// rem is uniform over [0, v·cn·ext); folding out the ball-multiplicity
@@ -498,7 +438,7 @@ func (c *Config) SampleBallBin(r *rng.RNG) int {
 	if c.m == 0 {
 		panic("loadvec: SampleBallBin with no balls")
 	}
-	v, rem := x.bal.find(r.Int63n(int64(c.m)))
+	v, rem := x.bal.Find(r.Int63n(int64(c.m)))
 	return int(x.binsAt[v][rem/int64(v)])
 }
 
@@ -527,10 +467,10 @@ func (c *Config) validateIndex() error {
 		if cn != c.CountAt(v) {
 			return fmt.Errorf("loadvec: binsAt[%d] has %d bins, histogram says %d", v, cn, c.CountAt(v))
 		}
-		if got := x.cnt.prefix(v) - x.cnt.prefix(v-1); got != int64(cn) {
+		if got := x.cnt.Prefix(v) - x.cnt.Prefix(v-1); got != int64(cn) {
 			return fmt.Errorf("loadvec: cnt tree at %d = %d, want %d", v, got, cn)
 		}
-		if got := x.bal.prefix(v) - x.bal.prefix(v-1); got != int64(v)*int64(cn) {
+		if got := x.bal.Prefix(v) - x.bal.Prefix(v-1); got != int64(v)*int64(cn) {
 			return fmt.Errorf("loadvec: bal tree at %d = %d, want %d", v, got, int64(v)*int64(cn))
 		}
 		elig := cum // C(v−1) for plain, C(v−2) for strict
@@ -541,7 +481,7 @@ func (c *Config) validateIndex() error {
 		if x.sval[v] != want {
 			return fmt.Errorf("loadvec: sval[%d] = %d, want %d", v, x.sval[v], want)
 		}
-		if got := x.mvw.prefix(v) - x.mvw.prefix(v-1); got != want {
+		if got := x.mvw.Prefix(v) - x.mvw.Prefix(v-1); got != want {
 			return fmt.Errorf("loadvec: mvw tree at %d = %d, want %d", v, got, want)
 		}
 		if x.extP != nil {
@@ -552,7 +492,7 @@ func (c *Config) validateIndex() error {
 			if x.xval[v] != wantX {
 				return fmt.Errorf("loadvec: xval[%d] = %d, want %d", v, x.xval[v], wantX)
 			}
-			if got := x.xw.prefix(v) - x.xw.prefix(v-1); got != wantX {
+			if got := x.xw.Prefix(v) - x.xw.Prefix(v-1); got != wantX {
 				return fmt.Errorf("loadvec: xw tree at %d = %d, want %d", v, got, wantX)
 			}
 			xTotal += wantX

@@ -1,6 +1,10 @@
 package loadvec
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fenwick"
+)
 
 // StaleIndex is the census of a partitioned system's bins at their stale
 // (last-reconciliation) loads, maintained so that single-bin level changes
@@ -16,7 +20,7 @@ import "fmt"
 // bin counts: one global tree and one per part. Part p's external prefix
 //
 //	ext_p(w) = #{bins of other parts with stale level ≤ w}
-//	         = gcnt.prefix(w) − own_p.prefix(w)
+//	         = gcnt.Prefix(w) − own_p.Prefix(w)
 //
 // is then an O(log Δ) query, Move (one bin changing level) is an
 // O(P + log Δ) update, and ExternalBinAt maps a sampled uniform index over
@@ -28,12 +32,12 @@ import "fmt"
 // the sharded engine has repartitioned.
 type StaleIndex struct {
 	n, parts int
-	cuts     []int     // part p owns bins [cuts[p], cuts[p+1])
-	levels   int       // indexed levels 0..levels-1 (doubling growth)
-	at       [][]int32 // at[v*parts+p]: part p's bins at stale level v
-	pos      []int32   // bin -> position within its bucket
-	gcnt     *fenwick  // per-level global bin count
-	own      []*fenwick
+	cuts     []int         // part p owns bins [cuts[p], cuts[p+1])
+	levels   int           // indexed levels 0..levels-1 (doubling growth)
+	at       [][]int32     // at[v*parts+p]: part p's bins at stale level v
+	pos      []int32       // bin -> position within its bucket
+	gcnt     *fenwick.Tree // per-level global bin count
+	own      []*fenwick.Tree
 }
 
 // NewStaleIndex builds the census for the given stale snapshot under the
@@ -97,7 +101,7 @@ func NewStaleIndexCuts(stale []int, cuts []int) *StaleIndex {
 // bucket lengths alone; used on construction and level growth.
 func (x *StaleIndex) rebuildCounts() {
 	gv := make([]int64, x.levels)
-	x.own = make([]*fenwick, x.parts)
+	x.own = make([]*fenwick.Tree, x.parts)
 	for p := 0; p < x.parts; p++ {
 		ov := make([]int64, x.levels)
 		for v := 0; v < x.levels; v++ {
@@ -105,9 +109,9 @@ func (x *StaleIndex) rebuildCounts() {
 			ov[v] = c
 			gv[v] += c
 		}
-		x.own[p] = newFenwickFrom(ov)
+		x.own[p] = fenwick.From(ov)
 	}
-	x.gcnt = newFenwickFrom(gv)
+	x.gcnt = fenwick.From(gv)
 }
 
 // grow extends the indexed level range to cover `need` (amortized O(1) per
@@ -145,10 +149,10 @@ func (x *StaleIndex) Move(bin, from, to int) {
 	x.pos[bin] = int32(len(dst))
 	x.at[to*x.parts+p] = append(dst, int32(bin))
 
-	x.gcnt.add(from, -1)
-	x.gcnt.add(to, 1)
-	x.own[p].add(from, -1)
-	x.own[p].add(to, 1)
+	x.gcnt.Add(from, -1)
+	x.gcnt.Add(to, 1)
+	x.own[p].Add(from, -1)
+	x.own[p].Add(to, 1)
 }
 
 // External returns ext_part(w): the number of bins owned by *other* parts
@@ -163,7 +167,7 @@ func (x *StaleIndex) External(part, w int) int64 {
 	if w >= x.levels {
 		w = x.levels - 1
 	}
-	return x.gcnt.prefix(w) - x.own[part].prefix(w)
+	return x.gcnt.Prefix(w) - x.own[part].Prefix(w)
 }
 
 // ExternalBinAt maps a uniform index j ∈ [0, External(part, w)) onto its
@@ -176,7 +180,7 @@ func (x *StaleIndex) ExternalBinAt(part, w int, j int64) int {
 	if w >= x.levels {
 		w = x.levels - 1
 	}
-	u, rem := findDiff(x.gcnt, x.own[part], j)
+	u, rem := fenwick.FindDiff(x.gcnt, x.own[part], j)
 	if u > w {
 		panic("loadvec: ExternalBinAt index beyond the level bound")
 	}
@@ -191,23 +195,6 @@ func (x *StaleIndex) ExternalBinAt(part, w int, j int64) int {
 		rem -= int64(len(b))
 	}
 	panic("loadvec: ExternalBinAt index out of range")
-}
-
-// findDiff is fenwick.find over the pointwise difference a−b (all entries
-// of which must be nonnegative): the smallest 0-based index i with
-// Σ_{k≤i}(a−b)(k) > target, plus the remainder within that index. Both
-// trees must have the same size.
-func findDiff(a, b *fenwick, target int64) (int, int64) {
-	pos := 0
-	for step := a.top; step > 0; step >>= 1 {
-		if next := pos + step; next <= a.n {
-			if d := a.tree[next] - b.tree[next]; d <= target {
-				pos = next
-				target -= d
-			}
-		}
-	}
-	return pos, target
 }
 
 // Validate cross-checks every piece of the index against a from-scratch
@@ -242,11 +229,11 @@ func (x *StaleIndex) Validate(stale []int) error {
 		for p := 0; p < x.parts; p++ {
 			c := int64(len(x.at[v*x.parts+p]))
 			cnt += c
-			if got := x.own[p].prefix(v) - x.own[p].prefix(v-1); got != c {
+			if got := x.own[p].Prefix(v) - x.own[p].Prefix(v-1); got != c {
 				return fmt.Errorf("loadvec: own[%d] tree at %d = %d, want %d", p, v, got, c)
 			}
 		}
-		if got := x.gcnt.prefix(v) - x.gcnt.prefix(v-1); got != cnt {
+		if got := x.gcnt.Prefix(v) - x.gcnt.Prefix(v-1); got != cnt {
 			return fmt.Errorf("loadvec: gcnt tree at %d = %d, want %d", v, got, cnt)
 		}
 	}

@@ -49,6 +49,23 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's full 4-word xoshiro256** state. Restoring
+// it with Restore reproduces the stream exactly from this point; split
+// streams carry no extra position — each Split spawns an independent RNG
+// whose own State captures it completely.
+func (r *RNG) State() [4]uint64 { return [4]uint64{r.s0, r.s1, r.s2, r.s3} }
+
+// Restore overwrites the generator state with a value previously obtained
+// from State. The all-zero state (never produced by New or the xoshiro
+// step) is mapped onto the same non-zero guard state New uses, so a
+// restored generator can never wedge.
+func (r *RNG) Restore(s [4]uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.

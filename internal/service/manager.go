@@ -45,6 +45,10 @@ type Config struct {
 	// events/sec; 0 rate disables limiting. Defaults 1000 and 2·rate.
 	EventRate  float64
 	EventBurst float64
+	// StateDir, when non-empty, is where tenant snapshots live: DELETE
+	// removes the departing tenant's snapshot file, and cmd/rlsd points
+	// SaveSnapshots/RestoreSnapshots here. Empty means no durability.
+	StateDir string
 
 	// now is the test clock hook; nil means time.Now.
 	now func() time.Time
@@ -291,6 +295,7 @@ func (s *Service) deleteSession(id string) bool {
 	t.closeQueue()
 	<-t.done
 	t.broker.close()
+	removeSnapshot(s.cfg.StateDir, id)
 	s.metrics.SessionsDeleted.Add(1)
 	s.metrics.SessionsLive.Add(-1)
 	return true

@@ -16,9 +16,10 @@ import (
 // cells.
 type Metrics struct {
 	// Control-plane counters/gauges.
-	SessionsLive    atomic.Int64 // gauge: tenants currently hosted
-	SessionsCreated atomic.Int64
-	SessionsDeleted atomic.Int64
+	SessionsLive     atomic.Int64 // gauge: tenants currently hosted
+	SessionsCreated  atomic.Int64
+	SessionsDeleted  atomic.Int64
+	SessionsRestored atomic.Int64 // tenants resurrected from snapshots at boot
 
 	// Data-plane counters. Accepted counts events admitted past the rate
 	// limiter into a tenant queue; Applied counts events the tenant worker
@@ -123,6 +124,7 @@ func (m *Metrics) Render(w io.Writer) {
 	gauge("rlsd_sessions_live", "Tenant sessions currently hosted.", m.SessionsLive.Load())
 	counter("rlsd_sessions_created_total", "Sessions created over the daemon lifetime.", m.SessionsCreated.Load())
 	counter("rlsd_sessions_deleted_total", "Sessions deleted over the daemon lifetime.", m.SessionsDeleted.Load())
+	counter("rlsd_sessions_restored_total", "Sessions restored from snapshots at boot.", m.SessionsRestored.Load())
 	counter("rlsd_events_accepted_total", "Events admitted into tenant queues.", m.EventsAccepted.Load())
 	counter("rlsd_events_applied_total", "Events applied by tenant workers.", m.EventsApplied.Load())
 	counter("rlsd_event_apply_errors_total", "Events whose application failed.", m.ApplyErrors.Load())

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"repro/internal/fenwick"
 	"repro/internal/loadvec"
 	"repro/internal/rng"
 )
@@ -17,46 +18,6 @@ type Topology interface {
 	Degree(i int) int
 	// Neighbor returns the k-th neighbor of vertex i, 0 ≤ k < Degree(i).
 	Neighbor(i, k int) int
-}
-
-// fenwick is a 1-based binary indexed tree over int64 weights with the
-// weighted-selection descend graphIndex needs. (The exported Fenwick in
-// sampler.go tracks int bin loads for the activation sampler; this one
-// tracks move weights, which overflow int on 32-bit platforms.)
-type fenwick struct {
-	tree []int64
-	n    int
-	log2 uint
-}
-
-func newFenwick(n int) *fenwick {
-	f := &fenwick{tree: make([]int64, n+1), n: n}
-	for 1<<(f.log2+1) <= n {
-		f.log2++
-	}
-	return f
-}
-
-// add applies a point delta at 0-based index i.
-func (f *fenwick) add(i int, delta int64) {
-	for pos := i + 1; pos <= f.n; pos += pos & (-pos) {
-		f.tree[pos] += delta
-	}
-}
-
-// find returns the smallest 0-based index i with prefix(i) > target along
-// with target minus the prefix before i — the offset of target within
-// i's weight. The caller guarantees 0 <= target < total.
-func (f *fenwick) find(target int64) (i int, rem int64) {
-	pos := 0
-	for step := 1 << f.log2; step > 0; step >>= 1 {
-		next := pos + step
-		if next <= f.n && f.tree[next] <= target {
-			pos = next
-			target -= f.tree[next]
-		}
-	}
-	return pos, target
 }
 
 // graphIndex is the per-source admissible structure behind the graph
@@ -88,11 +49,11 @@ func (f *fenwick) find(target int64) (i int, rem int64) {
 // level-bound rejection scheme instead (see ROADMAP).
 type graphIndex struct {
 	g     Topology
-	deg   int      // uniform degree Δ
-	adm   []int32  // admissible slot count per bin
-	wval  []int64  // current w_i = load(i)·adm[i]
-	wt    *fenwick // Fenwick over wval
-	total int64    // W_G
+	deg   int           // uniform degree Δ
+	adm   []int32       // admissible slot count per bin
+	wval  []int64       // current w_i = load(i)·adm[i]
+	wt    *fenwick.Tree // Fenwick over wval
+	total int64         // W_G
 
 	// Scratch for update's neighborhood dedup (epoch stamping, no alloc).
 	stamp   []int64
@@ -123,7 +84,7 @@ func newGraphIndex(cfg *loadvec.Config, g Topology) *graphIndex {
 		deg:     deg,
 		adm:     make([]int32, n),
 		wval:    make([]int64, n),
-		wt:      newFenwick(n),
+		wt:      fenwick.New(n),
 		stamp:   make([]int64, n),
 		touched: make([]int32, 0, 2*(deg+1)),
 	}
@@ -146,7 +107,7 @@ func (gx *graphIndex) recompute(cfg *loadvec.Config, i int) {
 	gx.adm[i] = int32(a)
 	w := int64(li) * int64(a)
 	if d := w - gx.wval[i]; d != 0 {
-		gx.wt.add(i, d)
+		gx.wt.Add(i, d)
 		gx.wval[i] = w
 		gx.total += d
 	}
@@ -180,7 +141,7 @@ func (gx *graphIndex) update(cfg *loadvec.Config, bins ...int) {
 // load(src)·adm[src], then a uniform admissible slot of src. The caller
 // guarantees total > 0.
 func (gx *graphIndex) sample(cfg *loadvec.Config, r *rng.RNG) (src, dst int) {
-	i, rem := gx.wt.find(r.Int63n(gx.total))
+	i, rem := gx.wt.Find(r.Int63n(gx.total))
 	// rem is uniform over [0, load(i)·adm[i]); folding out the ball
 	// multiplicity leaves a uniform admissible-slot index.
 	j := int(rem % int64(gx.adm[i]))

@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"repro/internal/fenwick"
 	"repro/internal/loadvec"
 	"repro/internal/rng"
 )
@@ -152,12 +153,11 @@ func (b *BallList) Name() string { return "ball-list" }
 func (b *BallList) Load(i int) int { return len(b.bins[i]) }
 
 // Fenwick samples bins with probability proportional to load using a
-// Fenwick (binary indexed) tree over the load vector.
+// shared fenwick.Tree over the load vector.
 type Fenwick struct {
-	tree []int // 1-based Fenwick tree of bin loads
-	n    int
-	m    int
-	log2 uint // highest power of two <= n, for the O(log n) descend
+	t *fenwick.Tree // bin loads
+	n int
+	m int
 }
 
 // NewFenwick returns an empty Fenwick sampler; call Reset before use.
@@ -167,57 +167,35 @@ func NewFenwick() *Fenwick { return &Fenwick{} }
 func (f *Fenwick) Reset(v loadvec.Vector) {
 	f.n = len(v)
 	f.m = v.Balls()
-	f.tree = make([]int, f.n+1)
+	vals := make([]int64, f.n)
 	for i, load := range v {
-		f.add(i+1, load)
+		vals[i] = int64(load)
 	}
-	f.log2 = 0
-	for 1<<(f.log2+1) <= f.n {
-		f.log2++
-	}
+	f.t = fenwick.From(vals)
 }
 
-func (f *Fenwick) add(pos, delta int) {
-	for ; pos <= f.n; pos += pos & (-pos) {
-		f.tree[pos] += delta
-	}
-}
-
-// prefix returns the sum of loads of bins 1..pos (1-based).
-func (f *Fenwick) prefix(pos int) int {
-	s := 0
-	for ; pos > 0; pos -= pos & (-pos) {
-		s += f.tree[pos]
-	}
-	return s
-}
+// prefix returns the sum of loads of bins 1..pos (1-based); tests use it
+// to cross-check Load.
+func (f *Fenwick) prefix(pos int) int { return int(f.t.Prefix(pos - 1)) }
 
 // Sample implements ActivationSampler: draws k uniform in [0, m) and
 // returns the bin holding the (k+1)-th ball in bin order, via the
 // standard Fenwick binary descend.
 func (f *Fenwick) Sample(r *rng.RNG) int {
-	k := r.Intn(f.m) // find smallest bin index with prefix > k
-	pos := 0
-	remaining := k
-	for step := 1 << f.log2; step > 0; step >>= 1 {
-		next := pos + step
-		if next <= f.n && f.tree[next] <= remaining {
-			pos = next
-			remaining -= f.tree[next]
-		}
-	}
-	return pos // 0-based bin index: pos is the count of full bins skipped
+	k := r.Intn(f.m)
+	bin, _ := f.t.Find(int64(k))
+	return bin
 }
 
 // MoveBall implements ActivationSampler.
 func (f *Fenwick) MoveBall(src, dst int) {
-	f.add(src+1, -1)
-	f.add(dst+1, +1)
+	f.t.Add(src, -1)
+	f.t.Add(dst, +1)
 }
 
 // AddBall implements ActivationSampler: one point update, O(log n).
 func (f *Fenwick) AddBall(bin int) {
-	f.add(bin+1, +1)
+	f.t.Add(bin, +1)
 	f.m++
 }
 
@@ -226,7 +204,7 @@ func (f *Fenwick) RemoveBall(bin int) {
 	if f.Load(bin) == 0 {
 		panic("sim: RemoveBall from empty bin")
 	}
-	f.add(bin+1, -1)
+	f.t.Add(bin, -1)
 	f.m--
 }
 
@@ -234,15 +212,5 @@ func (f *Fenwick) RemoveBall(bin int) {
 func (f *Fenwick) Name() string { return "fenwick" }
 
 // Load returns the load of bin i according to the tree with a single
-// O(log n) traversal: starting from tree[i+1] (the range sum ending at
-// i+1), subtract the sibling ranges down to the common ancestor of i+1
-// and i instead of computing two full prefix sums.
-func (f *Fenwick) Load(i int) int {
-	pos := i + 1
-	s := f.tree[pos]
-	stop := pos - pos&(-pos)
-	for pos--; pos != stop; pos -= pos & (-pos) {
-		s -= f.tree[pos]
-	}
-	return s
-}
+// O(log n) traversal (fenwick.Tree's Value descend).
+func (f *Fenwick) Load(i int) int { return int(f.t.Value(i)) }

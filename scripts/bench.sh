@@ -12,8 +12,11 @@
 # the rlsweep -scaling study's speedup-vs-P cells are appended to the same
 # file, and unless SERVICELOAD=0 so are the rlsweep -serviceload study's
 # ServiceLoad* cells (event→apply p50/p99 and applied throughput of the
-# multi-tenant rlsd service). Shard ratios need as many hardware threads
-# as shards — the JSON header records the core count and GOMAXPROCS.
+# multi-tenant rlsd service). The persistence layer rides along as
+# BenchmarkSnapshot/BenchmarkRestore/BenchmarkTraceAppend — ns/op plus
+# artifact compactness in bytes/ball. Shard ratios need as many hardware
+# threads as shards — the JSON header records the core count and
+# GOMAXPROCS.
 #
 # The default output name is derived from the tracked files: highest
 # existing BENCH_PR<k>.json plus one, so recording a new PR's numbers is
@@ -41,7 +44,7 @@ done
 out=${1:-BENCH_PR$((max_pr + 1)).json}
 benchtime=${BENCHTIME:-3x}
 gomaxprocs=${GOMAXPROCS:-$(nproc)}
-pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|BenchmarkGraphEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse|BenchmarkShardedEpochSteadyState)$'
+pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|BenchmarkGraphEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse|BenchmarkShardedEpochSteadyState|BenchmarkSnapshot|BenchmarkRestore|BenchmarkTraceAppend)$'
 
 raw=$(mktemp)
 scaling_json=$(mktemp)

@@ -227,6 +227,27 @@ func (s *Session) sessionGraph(n int) graphs.Graph {
 // construction, so this needs no lock.
 func (s *Session) Mode() EngineMode { return s.mode }
 
+// Shards returns the configured worker count (0 means the sharded
+// engines pick their default); fixed at creation.
+func (s *Session) Shards() int { return s.shards }
+
+// Strict reports whether the session runs under the strict tie rule.
+func (s *Session) Strict() bool { return s.strict }
+
+// TopologyName returns the session topology's name: "complete", "ring",
+// "torus", or "hypercube".
+func (s *Session) TopologyName() string {
+	switch s.topology.g.(type) {
+	case graphs.Ring:
+		return "ring"
+	case graphs.Torus2D:
+		return "torus"
+	case graphs.Hypercube:
+		return "hypercube"
+	}
+	return "complete"
+}
+
 // N returns the number of bins.
 func (s *Session) N() int {
 	s.mu.Lock()
