@@ -181,6 +181,10 @@ func BenchmarkGraphEndGame(b *testing.B) {
 		{"ring", RingTopology(), 8},
 		{"torus", TorusTopology(64), 8*64 + 8},
 		{"hypercube", HypercubeTopology(12), n - 1},
+		// The MGG expander (Δ = 8, constant spectral gap): the hole sits at
+		// the same grid point as the torus case, but the O(1) mixing time
+		// makes the diffusion leg far shorter than the torus walk.
+		{"expander", ExpanderTopology(), 8*64 + 8},
 	}
 	for _, tp := range topos {
 		loads := make([]int, n)
@@ -213,6 +217,67 @@ func BenchmarkGraphEndGame(b *testing.B) {
 				b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
 			})
 		}
+	}
+}
+
+// BenchmarkGraphDense measures the dense-degree graph end-game the
+// hybrid sampler exists for: n = m = 4096 on a random 16-regular
+// multigraph (degree above the auto threshold of 13), one excess ball
+// diffusing to one hole. Per move the direct engine burns ~m·Δ/W_G
+// activations, the exact index pays O(Δ² + Δ·log n) bookkeeping, and the
+// rejection hybrid O(Δ·log n) with an O(1) expected retry factor once
+// its lazy bounds tighten — so the ordering direct ≪ jump-exact <
+// jump-hybrid is the PR 10 headline tracked in BENCH_PR10.json, and CI
+// gates hybrid ≥ 5× direct via scripts/check_graphdense.sh.
+func BenchmarkGraphDense(b *testing.B) {
+	// 64 excess/hole pairs instead of one: the run length is a sum of ~64
+	// annihilation walks, concentrated enough for a single-iteration CI
+	// smoke to gate a wall-clock ratio on. The base load of 4 (m = 4n)
+	// deepens the null-move desert the direct engine must cross —
+	// activations per move scale with m·Δ/W_G — while the jump arms' cost
+	// tracks moves and degree only.
+	const n, d, k, base = 4096, 16, 64, 4
+	topo := RandomRegularTopology(d, 7)
+	loads := make([]int, n)
+	for i := range loads {
+		loads[i] = base
+	}
+	for i := 0; i < k; i++ {
+		loads[i*(n/k)] = base + 1
+		loads[i*(n/k)+n/(2*k)] = base - 1
+	}
+	arms := []struct {
+		name string
+		opts []Option
+	}{
+		{"direct", []Option{WithEngineMode(DirectEngine)}},
+		{"jump-exact", []Option{WithEngineMode(JumpEngine), WithGraphSampler(GraphSamplerExact)}},
+		{"jump-hybrid", []Option{WithEngineMode(JumpEngine), WithGraphSampler(GraphSamplerRejection)}},
+	}
+	for _, arm := range arms {
+		b.Run(fmt.Sprintf("random-%d-regular/%s", d, arm.name), func(b *testing.B) {
+			var totalActs, totalMoves int64
+			for i := 0; i < b.N; i++ {
+				res, err := New(n, base*n,
+					append([]Option{
+						WithSeed(uint64(i) + 1),
+						WithPlacement(FromLoads(loads)),
+						WithTopology(topo),
+						WithActivationBudget(100_000_000_000),
+					}, arm.opts...)...,
+				).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Reached {
+					b.Fatal("did not balance")
+				}
+				totalActs += res.Activations
+				totalMoves += res.Moves
+			}
+			b.ReportMetric(float64(totalActs)/float64(b.N), "activations/run")
+			b.ReportMetric(float64(totalMoves)/float64(b.N), "moves/run")
+		})
 	}
 }
 

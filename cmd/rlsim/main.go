@@ -11,6 +11,8 @@
 //	rlsim -n 4096 -m 4096 -engine jump
 //	rlsim -n 4096 -m 4096 -engine jump -strict
 //	rlsim -n 4096 -m 4096 -engine jump -topology torus
+//	rlsim -n 4096 -m 8192 -engine jump -topology expander
+//	rlsim -n 4096 -m 16384 -engine jump -topology random-16-regular -graphsampler rejection
 //	rlsim -n 65536 -m 65536 -placement random -engine sharded -shards 4 -target time=8
 //	rlsim -n 4096 -m 16384 -placement random -engine shardedjump -shards 4
 //	rlsim -n 4096 -m 4096 -engine jump -cpuprofile cpu.pprof
@@ -37,7 +39,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		placement = flag.String("placement", "all-in-one", "initial placement: all-in-one|random|two-choice|spread|delta-pair")
 		target    = flag.String("target", "perfect", "stop target: perfect | disc=X | time=X")
-		topology  = flag.String("topology", "complete", "topology: complete|ring|torus|hypercube")
+		topology  = flag.String("topology", "complete", "topology: complete|ring|torus|hypercube|expander|random-<d>-regular")
+		gsampler  = flag.String("graphsampler", "auto", "jump-engine graph sampler: auto|exact|rejection (needs -engine jump and a graph -topology)")
 		speeds    = flag.String("speeds", "", "bin speed profile: uniform|bimodal|powerlaw (empty = unit speeds)")
 		strict    = flag.Bool("strict", false, "use the strict (>) tie rule of [12]/[11]")
 		engine    = flag.String("engine", "direct", "engine mode: direct (per-activation) | jump (rejection-free) | sharded (parallel) | shardedjump (parallel rejection-free)")
@@ -68,9 +71,9 @@ func main() {
 	}
 	err := withProfiles(*cpuprof, *memprof, func() error {
 		if sf.active() {
-			return runSession(sf, *n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *shards, *strict, *plot && !*csv)
+			return runSession(sf, *n, *m, *seed, *placement, *target, *topology, *gsampler, *speeds, *engine, *shards, *strict, *plot && !*csv)
 		}
-		return run(*n, *m, *seed, *placement, *target, *topology, *speeds, *engine, *shards, *strict, *trace, *plot && !*csv, *csv)
+		return run(*n, *m, *seed, *placement, *target, *topology, *gsampler, *speeds, *engine, *shards, *strict, *trace, *plot && !*csv, *csv)
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlsim: %v\n", err)
@@ -114,7 +117,65 @@ func withProfiles(cpuprof, memprof string, f func() error) error {
 	return nil
 }
 
-func run(n, m int, seed uint64, placement, target, topology, speeds, engine string, shards int, strict bool, trace int64, plot, csv bool) error {
+// parseTopology maps the -topology flag onto an rls.Topology. The ring,
+// torus, hypercube, and expander adapt their shape to n the way the
+// library constructors expect; "random-<d>-regular" builds its adjacency
+// deterministically from the run seed, so a fixed (seed, n, d) triple
+// reproduces the same graph. active reports whether the choice restricts
+// sampling at all (false for "complete").
+func parseTopology(topology string, n int, seed uint64) (t rls.Topology, active bool, err error) {
+	switch topology {
+	case "complete":
+		return rls.CompleteTopology(), false, nil
+	case "ring":
+		return rls.RingTopology(), true, nil
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return rls.TorusTopology(side), true, nil
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		return rls.HypercubeTopology(dim), true, nil
+	case "expander":
+		return rls.ExpanderTopology(), true, nil
+	}
+	if d, ok := parseRandomRegular(topology); ok {
+		return rls.RandomRegularTopology(d, seed), true, nil
+	}
+	return rls.Topology{}, false, fmt.Errorf("unknown topology %q", topology)
+}
+
+// parseRandomRegular recognizes "random-<d>-regular" and returns d.
+func parseRandomRegular(s string) (int, bool) {
+	if !strings.HasPrefix(s, "random-") || !strings.HasSuffix(s, "-regular") {
+		return 0, false
+	}
+	d, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(s, "random-"), "-regular"))
+	if err != nil || d < 1 {
+		return 0, false
+	}
+	return d, true
+}
+
+// parseGraphSampler maps the -graphsampler flag onto the library enum.
+func parseGraphSampler(s string) (rls.GraphSampler, error) {
+	switch s {
+	case "auto":
+		return rls.GraphSamplerAuto, nil
+	case "exact":
+		return rls.GraphSamplerExact, nil
+	case "rejection":
+		return rls.GraphSamplerRejection, nil
+	}
+	return 0, fmt.Errorf("unknown graph sampler %q (want auto|exact|rejection)", s)
+}
+
+func run(n, m int, seed uint64, placement, target, topology, gsampler, speeds, engine string, shards int, strict bool, trace int64, plot, csv bool) error {
 	opts := []rls.Option{rls.WithSeed(seed)}
 
 	switch engine {
@@ -172,24 +233,21 @@ func run(n, m int, seed uint64, placement, target, topology, speeds, engine stri
 		return fmt.Errorf("unknown target %q", target)
 	}
 
-	switch topology {
-	case "complete":
-	case "ring":
-		opts = append(opts, rls.WithTopology(rls.RingTopology()))
-	case "torus":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		opts = append(opts, rls.WithTopology(rls.TorusTopology(side)))
-	case "hypercube":
-		dim := 0
-		for 1<<dim < n {
-			dim++
-		}
-		opts = append(opts, rls.WithTopology(rls.HypercubeTopology(dim)))
-	default:
-		return fmt.Errorf("unknown topology %q", topology)
+	topo, topoActive, err := parseTopology(topology, n, seed)
+	if err != nil {
+		return err
+	}
+	if topoActive {
+		opts = append(opts, rls.WithTopology(topo))
+	}
+	gs, err := parseGraphSampler(gsampler)
+	if err != nil {
+		return err
+	}
+	if gs != rls.GraphSamplerAuto {
+		// The Runner validates the combination (jump engine + graph
+		// topology) and returns its own error otherwise.
+		opts = append(opts, rls.WithGraphSampler(gs))
 	}
 
 	switch speeds {

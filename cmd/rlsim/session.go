@@ -28,7 +28,7 @@ func (sf sessionFlags) active() bool {
 // profiles, and disc= targets are Runner-only features and are rejected
 // here; balls enter via AddBallRandom (the session equivalent of random
 // placement).
-func runSession(sf sessionFlags, n, m int, seed uint64, placement, target, topology, speeds, engine string, shards int, strict bool, plot bool) error {
+func runSession(sf sessionFlags, n, m int, seed uint64, placement, target, topology, gsampler, speeds, engine string, shards int, strict bool, plot bool) error {
 	if speeds != "" {
 		return fmt.Errorf("-speeds is not supported with -resume/-snapshot/-traceout (sessions have no speed-aware engine)")
 	}
@@ -68,24 +68,24 @@ func runSession(sf sessionFlags, n, m int, seed uint64, placement, target, topol
 		if strict {
 			opts = append(opts, rls.WithSessionStrictTieRule())
 		}
-		switch topology {
-		case "complete":
-		case "ring":
-			opts = append(opts, rls.WithSessionTopology(rls.RingTopology()))
-		case "torus":
-			side := 1
-			for side*side < n {
-				side++
+		topo, topoActive, err := parseTopology(topology, n, seed)
+		if err != nil {
+			return err
+		}
+		if topoActive {
+			opts = append(opts, rls.WithSessionTopology(topo))
+		}
+		gs, err := parseGraphSampler(gsampler)
+		if err != nil {
+			return err
+		}
+		if gs != rls.GraphSamplerAuto {
+			// NewSession panics on an unsupported combination, so gate it
+			// here where a flag error is the right surface.
+			if engine != "jump" || !topoActive {
+				return fmt.Errorf("-graphsampler %s needs -engine jump and a graph -topology", gs)
 			}
-			opts = append(opts, rls.WithSessionTopology(rls.TorusTopology(side)))
-		case "hypercube":
-			dim := 0
-			for 1<<dim < n {
-				dim++
-			}
-			opts = append(opts, rls.WithSessionTopology(rls.HypercubeTopology(dim)))
-		default:
-			return fmt.Errorf("unknown topology %q", topology)
+			opts = append(opts, rls.WithSessionGraphSampler(gs))
 		}
 		sess = rls.NewSession(n, seed, opts...)
 		for i := 0; i < m; i++ {

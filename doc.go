@@ -39,10 +39,25 @@
 //     Two protocol variants ride the same machinery: the strict (>) tie
 //     rule swaps in the shifted move weight W′ = Σ_v v·count[v]·C(v−2)
 //     (same index, eligible destinations two levels down; gate A7), and
-//     regular graph topologies maintain a per-source admissible-
-//     neighbor count so the eventful probability becomes W_G/(m·Δ_G)
-//     and pair sampling walks a bin-indexed Fenwick tree plus one
-//     neighborhood scan — O(Δ_G² + Δ_G·log n) per move (gate A8).
+//     regular graph topologies run a hybrid sampler chosen by degree.
+//     Below the threshold max(8, log₂ n) — ring, torus, hypercube, the
+//     8-regular expander — an exact per-source admissible-neighbor
+//     count makes the eventful probability W_G/(m·Δ_G) and pair
+//     sampling walks a bin-indexed Fenwick tree plus one neighborhood
+//     scan, O(Δ_G² + Δ_G·log n) per move. Above it (random d-regular
+//     with large d) that quadratic neighborhood maintenance dominates,
+//     so the engine switches to rejection-within-blocks against the
+//     lazy upper bound Ŵ_G = Σ_i load(i)·admUB(i) ≥ W_G: block
+//     skipping runs Geometric/Erlang draws at rate Ŵ_G/(m·Δ_G) off a
+//     load-only Fenwick tree, each eventful activation samples a
+//     source ∝ load·bound plus a uniform neighbor slot and accepts iff
+//     the move is admissible, and a rejection refreshes that source's
+//     cached bound to its exact admissible count — retries tighten the
+//     bound, so the expected retries per event stay O(Ŵ_G/W_G). A
+//     flag-thinning coupling makes the two paths the same
+//     per-activation move law (gate A8, including dense KS rows);
+//     WithGraphSampler forces either path, and the default auto choice
+//     is a pure function of (Δ_G, n) so runs stay reproducible.
 //     Strict + topology together is rejected: the graph processes in
 //     the literature use the plain rule.
 //   - ShardedEngine partitions the bins into WithShards contiguous
@@ -142,8 +157,9 @@
 //     threads needed; BenchmarkShardedDense tracks the speedup).
 //   - sparse/end-game (m ≈ n, mostly null activations): JumpEngine —
 //     nothing to parallelize, everything to skip. This now includes
-//     strict-tie and ring/torus/hypercube end-games
-//     (BenchmarkStrictEndGame, BenchmarkGraphEndGame).
+//     strict-tie and graph end-games on every supported topology,
+//     dense degrees included (BenchmarkStrictEndGame,
+//     BenchmarkGraphEndGame, BenchmarkGraphDense).
 //   - whole runs crossing regimes (dense start, converged tail), or
 //     long-lived sessions alternating churn bursts with quiet stretches:
 //     ShardedJumpEngine — adaptive epochs slide between the two

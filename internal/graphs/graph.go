@@ -112,6 +112,60 @@ func (g Hypercube) Neighbor(i, k int) int { return i ^ (1 << k) }
 // Name implements Graph.
 func (g Hypercube) Name() string { return "hypercube" }
 
+// Expander is the Margulis–Gabber–Galil expander: an 8-regular multigraph
+// on the Side×Side torus of vertices (x, y), with neighbor slots
+//
+//	(x±2y, y), (x±(2y+1), y), (x, y±2x), (x, y±(2x+1))   (mod Side)
+//
+// Its second eigenvalue is bounded away from 1 uniformly in n, so the
+// spectral gap — and with it the RLS mixing behaviour — stays Θ(1) as the
+// graph grows, unlike ring (Θ(1/n²)) or torus (Θ(1/n)). The slot list is
+// symmetric as a multiset (the +shift slot at (x, y) is matched by the
+// −shift slot at the image vertex), so GraphRLS and the jump engines see
+// a well-defined undirected multigraph; coincidences like x = 0 produce
+// parallel edges and self-loops, which the slot semantics of the engines
+// handle exactly (a self-slot simply never admits a move).
+//
+// The degree is constant (8) but the family is the repo's stand-in for
+// "dense mixing at scale": it is the primary beneficiary of the
+// rejection-within-blocks jump sampler and the A8 gate at large n.
+type Expander struct{ Side int }
+
+// N implements Graph.
+func (g Expander) N() int { return g.Side * g.Side }
+
+// Degree implements Graph.
+func (g Expander) Degree(int) int { return 8 }
+
+// Neighbor implements Graph.
+func (g Expander) Neighbor(i, k int) int {
+	s := g.Side
+	x, y := i/s, i%s
+	mod := func(v int) int { return ((v % s) + s) % s }
+	switch k {
+	case 0:
+		x = mod(x + 2*y)
+	case 1:
+		x = mod(x - 2*y)
+	case 2:
+		x = mod(x + 2*y + 1)
+	case 3:
+		x = mod(x - 2*y - 1)
+	case 4:
+		y = mod(y + 2*x)
+	case 5:
+		y = mod(y - 2*x)
+	case 6:
+		y = mod(y + 2*x + 1)
+	default:
+		y = mod(y - 2*x - 1)
+	}
+	return x*s + y
+}
+
+// Name implements Graph.
+func (g Expander) Name() string { return "expander" }
+
 // RandomRegular is a random d-regular multigraph built by the pairing
 // (configuration) model: d·n half-edges matched uniformly; self-loops are
 // re-rolled a bounded number of times. Multi-edges are kept (they only
@@ -130,7 +184,14 @@ func NewRandomRegular(n, d int, r *rng.RNG) (*RandomRegular, error) {
 	if d < 1 || n < 2 {
 		return nil, fmt.Errorf("graphs: need d ≥ 1 and n ≥ 2")
 	}
-	// Pair half-edges; retry the whole matching if self-loops persist.
+	// Pair half-edges; repair self-loops by switching. A dense matching
+	// has ~d/2 expected self-loops, so rejecting whole matchings would
+	// essentially never terminate for superconstant d — instead each bad
+	// pair trades its second stub with a uniformly random pair's, which
+	// fixes it with probability 1−O(d/n·d) per pass and converges in a
+	// handful of passes. A loop-free shuffle draws nothing beyond the
+	// shuffle itself, so sparse constructions (and their golden
+	// adjacency pins) are byte-identical to the old rejection scheme.
 	for attempt := 0; attempt < 100; attempt++ {
 		stubs := make([]int, 0, n*d)
 		for v := 0; v < n; v++ {
@@ -139,22 +200,40 @@ func NewRandomRegular(n, d int, r *rng.RNG) (*RandomRegular, error) {
 			}
 		}
 		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-		adj := make([][]int, n)
-		ok := true
-		for i := 0; i < len(stubs); i += 2 {
-			a, b := stubs[i], stubs[i+1]
-			if a == b {
-				ok = false
-				break
+		clean := false
+		for pass := 0; pass < 50 && !clean; pass++ {
+			clean = true
+			for i := 0; i < len(stubs); i += 2 {
+				if stubs[i] == stubs[i+1] {
+					clean = false
+					j := 2 * r.Intn(len(stubs)/2)
+					stubs[i+1], stubs[j+1] = stubs[j+1], stubs[i+1]
+				}
 			}
-			adj[a] = append(adj[a], b)
-			adj[b] = append(adj[b], a)
 		}
-		if ok {
+		if clean {
+			adj := make([][]int, n)
+			for i := 0; i < len(stubs); i += 2 {
+				a, b := stubs[i], stubs[i+1]
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
+			}
 			return &RandomRegular{adj: adj, name: fmt.Sprintf("random-%d-regular", d)}, nil
 		}
 	}
 	return nil, fmt.Errorf("graphs: failed to build loop-free matching")
+}
+
+// NewRandomRegularSeed builds a random d-regular multigraph from a
+// dedicated RNG stream derived from seed alone. Two calls with equal
+// (n, d, seed) yield identical adjacency — the construction consumes no
+// caller-owned randomness, so a simulation stream is unaffected by
+// whether its topology was built inline or restored from a snapshot. The
+// determinism is load-bearing for persistence: root snapshots record only
+// (n, d, seed) and rebuild the adjacency on resume (graph_test.go pins a
+// golden adjacency hash against construction-order drift).
+func NewRandomRegularSeed(n, d int, seed uint64) (*RandomRegular, error) {
+	return NewRandomRegular(n, d, rng.New(seed))
 }
 
 // N implements Graph.

@@ -81,7 +81,10 @@ func init() {
 			"admissible-slot counts — W_G = Σ load(i)·adm[i], per-activation move " +
 			"probability W_G/(m·Δ) — yields the same balancing-time law as the " +
 			"per-activation GraphRLS engine (two-sample KS test), with zero " +
-			"rejected samples.",
+			"rejected samples. On the dense families (random 8-regular, MGG " +
+			"expander) the rejection-within-blocks hybrid — blocks sized by the " +
+			"lazy bound Ŵ_G ≥ W_G, flagged events accepted w.p. adm/admUB — " +
+			"matches the exact jump engine's law in turn.",
 		Run: func(cfg RunConfig) *Table {
 			t := NewTable("A8", "graph jump-chain ablation",
 				"topology", "n", "m", "E[T] direct", "E[T] jump", "acts ratio",
@@ -132,7 +135,58 @@ func init() {
 					jumpActs/directActs, jumpMoves/directMoves,
 					d, stats.KSCritical(reps, reps, 0.01), fmt.Sprintf("%v", same))
 			}
+			// PR 10 extension: the dense families where the auto sampler
+			// switches to rejection-within-blocks. Direct simulation at the
+			// Full sizes is out of reach, so these rows hold the hybrid to
+			// the exact jump engine — whose law the rows above pin to the
+			// direct engine — closing the chain direct ≡ exact ≡ hybrid.
+			// The one-choice start keeps the Full size (n = 65536) feasible.
+			denseSide := 16
+			if cfg.Scale == Full {
+				denseSide = 256
+			}
+			denseN := denseSide * denseSide
+			rr, err := graphs.NewRandomRegularSeed(denseN, 8, cfg.Seed|1)
+			if err != nil {
+				panic(fmt.Sprintf("harness: A8 random-regular build: %v", err))
+			}
+			dense := []struct {
+				name string
+				g    graphs.Graph
+			}{
+				{"random-8-regular", rr},
+				{"expander", graphs.Expander{Side: denseSide}},
+			}
+			const denseReps = 8
+			for di, tp := range dense {
+				g := tp.g
+				n := g.N()
+				m := 2 * n
+				collect := func(seed uint64, mode sim.GraphSamplerMode) (times []float64, acts, moves float64) {
+					rs := replicate(seed, denseReps, func(r *rng.RNG) runStats {
+						v := loadvec.OneChoice().Generate(n, m, r)
+						res := sim.NewGraphJumpEngineMode(v, g, mode, r).Run(sim.UntilPerfect(), 0)
+						return runStats{res.Time, float64(res.Activations), float64(res.Moves)}
+					})
+					times = make([]float64, len(rs))
+					for i, s := range rs {
+						times[i] = s.time
+						acts += s.acts / float64(denseReps)
+						moves += s.moves / float64(denseReps)
+					}
+					return times, acts, moves
+				}
+				seed := cfg.Seed ^ uint64(31+di*8191)
+				exactT, exactActs, exactMoves := collect(seed, sim.GraphSamplerExact)
+				hybT, hybActs, hybMoves := collect(seed^0x9e3779b97f4a7c15, sim.GraphSamplerRejection)
+				same, d := stats.SameDistribution(exactT, hybT, 0.01)
+				t.Addf(tp.name, n, m,
+					stats.Mean(exactT), stats.Mean(hybT),
+					hybActs/exactActs, hybMoves/exactMoves,
+					d, stats.KSCritical(denseReps, denseReps, 0.01), fmt.Sprintf("%v", same))
+			}
 			t.Note("reps per engine per topology: %d; KS significance 0.01; m = 2n from the single-bin start", reps)
+			t.Note("dense rows (random-8-regular, expander): exact jump vs forced-rejection hybrid, %d reps each, one-choice start", denseReps)
 			t.Note("diffusion on a graph is slow: E[T] grows with the mixing time, and the jump engine's advantage grows with it")
 			return t
 		},

@@ -39,8 +39,10 @@ import (
 )
 
 // Version is the current artifact format version; decoders reject
-// anything else with a *VersionError.
-const Version = 1
+// anything else with a *VersionError. Version 2 extended the session
+// meta section with a topology seed and a graph-sampler mode (PR 10);
+// version-1 artifacts are rejected rather than misread.
+const Version = 2
 
 // Artifact magics: the first four bytes of every file.
 const (

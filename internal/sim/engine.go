@@ -32,8 +32,8 @@ type Engine struct {
 	gaps    GapSampler        // non-nil when the sampler owns event timing
 	mover   Mover
 	r       *rng.RNG
-	jump    bool        // rejection-free jump-chain mode (see jump.go)
-	gidx    *graphIndex // jump mode on a graph topology (see jumpgraph.go)
+	jump    bool         // rejection-free jump-chain mode (see jump.go)
+	gidx    graphSampler // jump mode on a graph topology: exact index or rejection hybrid (jumpgraph.go, jumpgraphhybrid.go)
 
 	time        float64
 	activations int64

@@ -67,18 +67,7 @@ type graphIndex struct {
 // per-activation move probability a single ratio W_G/(m·Δ).
 func newGraphIndex(cfg *loadvec.Config, g Topology) *graphIndex {
 	n := cfg.N()
-	if g.N() != n {
-		panic("sim: graph jump engine needs a topology over exactly the configuration's bins")
-	}
-	deg := g.Degree(0)
-	if deg < 1 {
-		panic("sim: graph jump engine needs a regular topology with degree >= 1")
-	}
-	for i := 1; i < n; i++ {
-		if g.Degree(i) != deg {
-			panic("sim: graph jump engine needs a regular topology")
-		}
-	}
+	deg := regularTopologyDegree(cfg, g)
 	gx := &graphIndex{
 		g:       g,
 		deg:     deg,
@@ -137,6 +126,17 @@ func (gx *graphIndex) update(cfg *loadvec.Config, bins ...int) {
 	gx.touched = touched[:0]
 }
 
+func (gx *graphIndex) topology() Topology { return gx.g }
+func (gx *graphIndex) weight() int64      { return gx.total }
+func (gx *graphIndex) degree() int        { return gx.deg }
+
+// event implements graphSampler: the exact index never rejects, so every
+// eventful activation is the move sample itself.
+func (gx *graphIndex) event(cfg *loadvec.Config, r *rng.RNG) (src, dst int, ok bool) {
+	src, dst = gx.sample(cfg, r)
+	return src, dst, true
+}
+
 // sample draws one jump-chain move: src with probability ∝
 // load(src)·adm[src], then a uniform admissible slot of src. The caller
 // guarantees total > 0.
@@ -162,31 +162,22 @@ func (gx *graphIndex) sample(cfg *loadvec.Config, r *rng.RNG) (src, dst int) {
 // restricted to a regular graph topology (the §7 extension simulated by
 // graphs.GraphRLS): a ball in bin i samples a uniform neighbor slot and
 // moves iff the neighbor's load is lower. Like NewJumpEngine it simulates
-// only the embedded jump chain — Geometric(W_G/(m·Δ)) null blocks,
-// Erlang time gaps — but the move weight W_G = Σ_i load(i)·adm[i] is
-// maintained exactly via per-source admissible-slot counts (graphIndex),
-// so every simulated event is a real move and SetHorizon's
-// thinned-Poisson clamp conditions on the exact accepted-event rate.
+// only the embedded jump chain — Geometric(w/(m·Δ)) null blocks, Erlang
+// time gaps — where w is either the exact move weight
+// W_G = Σ_i load(i)·adm[i] maintained by per-source admissible-slot
+// counts (graphIndex: O(Δ²+Δ·log n) per move, every event a real move)
+// or, above the auto degree threshold, the lazy bound Ŵ_G ≥ W_G of the
+// rejection-within-blocks sampler (graphHybrid: O(Δ·log n) per move,
+// expected Ŵ_G/W_G events per move). SetHorizon's thinned-Poisson clamp
+// conditions on the same w, so time-targeted runs stay exact in both.
 //
-// Cost: O(Δ² + Δ·log n) per move and per churn event, so the engine
-// targets bounded-degree topologies (ring, torus, hypercube); near
-// balance the direct engine burns ~m·Δ/W_G activations per move, which
-// grows without bound as the last discrepancies random-walk toward each
-// other. The balancing-time law is identical to the direct engine's
-// (experiment A8 KS-tests it). The topology must be regular; multigraph
-// slots (parallel edges, self-loops) are handled exactly.
+// This constructor is NewGraphJumpEngineMode with GraphSamplerAuto: ring,
+// torus, hypercube, and the expander keep the exact index (and their
+// byte-identical goldens); random d-regular graphs with
+// d > GraphSamplerThreshold(n) get the hybrid. The balancing-time law is
+// identical to the direct engine's either way (experiment A8 KS-tests
+// it). The topology must be regular; multigraph slots (parallel edges,
+// self-loops) are handled exactly.
 func NewGraphJumpEngine(initial loadvec.Vector, g Topology, r *rng.RNG) *Engine {
-	if r == nil {
-		panic("sim: NewGraphJumpEngine with nil RNG")
-	}
-	if g == nil {
-		panic("sim: NewGraphJumpEngine with nil topology")
-	}
-	cfg := loadvec.NewConfig(initial)
-	// The level index serves RandomBin (session churn) and stays the
-	// uniform-ball sampler; the graph index owns the move weight.
-	cfg.EnableLevelIndex()
-	e := &Engine{cfg: cfg, r: r, jump: true}
-	e.gidx = newGraphIndex(cfg, g)
-	return e
+	return NewGraphJumpEngineMode(initial, g, GraphSamplerAuto, r)
 }

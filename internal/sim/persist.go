@@ -32,6 +32,18 @@ const (
 	samplerEventHeap
 )
 
+// Graph-sampler type tags (graph jump engines only), written ahead of
+// the graph payload for the same loud-mismatch property. The exact index
+// is a pure function of loads + topology and carries no payload; the
+// rejection hybrid's lazy bounds admUB are history-dependent (they
+// remember which sources were refreshed), so they ship verbatim — a
+// resumed run must flag the same sources the uninterrupted run would.
+const (
+	graphNone = iota
+	graphExact
+	graphRejection
+)
+
 func encodeRNG(e *persist.Enc, r *rng.RNG) {
 	st := r.State()
 	for _, w := range st {
@@ -244,6 +256,17 @@ func (e *Engine) EncodeState(enc *persist.Enc) {
 	default:
 		panic(fmt.Sprintf("sim: sampler %s has no snapshot codec", e.sampler.Name()))
 	}
+	switch gx := e.gidx.(type) {
+	case nil:
+		enc.Int(graphNone)
+	case *graphIndex:
+		enc.Int(graphExact)
+	case *graphHybrid:
+		enc.Int(graphRejection)
+		enc.I32s(gx.admUB)
+	default:
+		panic("sim: graph sampler has no snapshot codec")
+	}
 	encodeRNG(enc, e.r)
 	enc.F64(e.time)
 	enc.I64(e.activations)
@@ -300,6 +323,26 @@ func (e *Engine) DecodeState(d *persist.Dec) error {
 	default:
 		return persist.Corruptf("engine sampler %s has no snapshot codec", e.sampler.Name())
 	}
+	gtag := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	var admUB []int32
+	switch e.gidx.(type) {
+	case nil:
+		if gtag != graphNone {
+			return persist.Corruptf("snapshot carries graph sampler tag %d, engine has none", gtag)
+		}
+	case *graphIndex:
+		if gtag != graphExact {
+			return persist.Corruptf("snapshot graph sampler tag %d, engine wants exact", gtag)
+		}
+	case *graphHybrid:
+		if gtag != graphRejection {
+			return persist.Corruptf("snapshot graph sampler tag %d, engine wants rejection", gtag)
+		}
+		admUB = d.I32s()
+	}
 	var st [4]uint64
 	for i := range st {
 		st[i] = d.U64()
@@ -312,12 +355,37 @@ func (e *Engine) DecodeState(d *persist.Dec) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	e.cfg = cfg
-	if e.gidx != nil {
-		// The admissibility index is a deterministic function of the loads
-		// and the topology; rebuild it over the restored configuration.
-		e.gidx = newGraphIndex(cfg, e.gidx.g)
+	// Rebuild the graph sampler over the restored configuration before
+	// committing anything, so a corrupt payload leaves the engine intact.
+	var gidx graphSampler
+	switch gx := e.gidx.(type) {
+	case *graphIndex:
+		// The exact index is a deterministic function of the loads and the
+		// topology; rebuild it outright.
+		gidx = newGraphIndex(cfg, gx.g)
+	case *graphHybrid:
+		// The loads and topology are rebuilt; the lazy bounds are the
+		// verbatim payload, validated against the invariant
+		// adm(i) ≤ admUB[i] ≤ Δ they must satisfy.
+		nh := newGraphHybrid(cfg, gx.g)
+		if len(admUB) != cfg.N() {
+			return persist.Corruptf("graph sampler bounds over %d bins, config has %d", len(admUB), cfg.N())
+		}
+		for i, ub := range admUB {
+			if ub > int32(nh.deg) {
+				return persist.Corruptf("graph sampler bound %d at bin %d exceeds degree %d", ub, i, nh.deg)
+			}
+			if ub < nh.admUB[i] { // fresh build has admUB = exact adm
+				return persist.Corruptf("graph sampler bound %d at bin %d below the admissible count %d", ub, i, nh.admUB[i])
+			}
+		}
+		for i, ub := range admUB {
+			nh.setUB(i, ub)
+		}
+		gidx = nh
 	}
+	e.cfg = cfg
+	e.gidx = gidx
 	e.r.Restore(st)
 	e.time, e.activations, e.moves, e.forced, e.horizon = time, acts, moves, forced, horizon
 	return nil

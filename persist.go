@@ -69,6 +69,8 @@ func (s *Session) snapshotLocked(w io.Writer, note []byte) error {
 	meta.Bool(s.strict)
 	meta.Int(topoKind)
 	meta.Int(topoArg)
+	meta.U64(s.topology.rrSeed)
+	meta.Int(int(s.graphSampler))
 	meta.Bytes8(note)
 	if err := persist.WriteSection(bw, sectMeta, meta.Bytes()); err != nil {
 		return err
@@ -95,8 +97,13 @@ func (s *Session) snapshotLocked(w io.Writer, note []byte) error {
 
 // topologyCode maps the session topology onto the (kind, arg) pair the
 // snapshot header stores: 0 complete, 1 ring, 2 torus(side),
-// 3 hypercube(dim).
+// 3 hypercube(dim), 4 expander (the side adapts to √n on resume),
+// 5 random-regular(d) — whose construction seed rides in the meta
+// section's topoSeed field so resume rebuilds the identical adjacency.
 func (s *Session) topologyCode() (kind, arg int, err error) {
+	if s.topology.rrD > 0 {
+		return 5, s.topology.rrD, nil
+	}
 	switch g := s.topology.g.(type) {
 	case nil:
 		return 0, 0, nil
@@ -106,6 +113,8 @@ func (s *Session) topologyCode() (kind, arg int, err error) {
 		return 2, g.Side, nil
 	case graphs.Hypercube:
 		return 3, g.Dim, nil
+	case graphs.Expander:
+		return 4, 0, nil
 	default:
 		return 0, 0, fmt.Errorf("rls: topology %T has no snapshot code", g)
 	}
@@ -115,7 +124,7 @@ func (s *Session) topologyCode() (kind, arg int, err error) {
 // NewSession options that reconstruct the engine shape. Every NewSession
 // panic path is checked here first, so corrupt artifacts surface as
 // typed errors.
-func sessionOptsFromMeta(n, mode, shards int, strict bool, topoKind, topoArg int) ([]SessionOption, error) {
+func sessionOptsFromMeta(n, mode, shards int, strict bool, topoKind, topoArg int, topoSeed uint64, gsampler int) ([]SessionOption, error) {
 	if n < 1 {
 		return nil, persist.Corruptf("session over %d bins", n)
 	}
@@ -129,6 +138,12 @@ func sessionOptsFromMeta(n, mode, shards int, strict bool, topoKind, topoArg int
 	sharded := m == ShardedEngine || m == ShardedJumpEngine
 	if sharded && (strict || topoKind != 0) {
 		return nil, persist.Corruptf("sharded session with strict rule or topology")
+	}
+	if gsampler < int(GraphSamplerAuto) || gsampler > int(GraphSamplerRejection) {
+		return nil, persist.Corruptf("unknown graph sampler %d", gsampler)
+	}
+	if gsampler != int(GraphSamplerAuto) && (m != JumpEngine || topoKind == 0) {
+		return nil, persist.Corruptf("graph sampler override without a graph jump engine")
 	}
 	opts := []SessionOption{WithSessionEngineMode(m)}
 	if shards > 0 {
@@ -154,15 +169,32 @@ func sessionOptsFromMeta(n, mode, shards int, strict bool, topoKind, topoArg int
 			return nil, persist.Corruptf("hypercube dim %d against %d bins", topoArg, n)
 		}
 		opts = append(opts, WithSessionTopology(HypercubeTopology(topoArg)))
+	case 4:
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, persist.Corruptf("expander over non-square %d bins", n)
+		}
+		opts = append(opts, WithSessionTopology(ExpanderTopology()))
+	case 5:
+		if topoArg < 1 || topoArg >= n || (n*topoArg)%2 != 0 {
+			return nil, persist.Corruptf("random-regular degree %d against %d bins", topoArg, n)
+		}
+		opts = append(opts, WithSessionTopology(RandomRegularTopology(topoArg, topoSeed)))
 	default:
 		return nil, persist.Corruptf("unknown topology code %d", topoKind)
+	}
+	if gsampler != int(GraphSamplerAuto) {
+		opts = append(opts, WithSessionGraphSampler(GraphSampler(gsampler)))
 	}
 	return opts, nil
 }
 
 // decodeMeta reads the session-shape section shared by snapshots and
 // trace archives.
-func decodeMeta(payload []byte) (n, mode, shards int, strict bool, topoKind, topoArg int, note []byte, err error) {
+func decodeMeta(payload []byte) (n, mode, shards int, strict bool, topoKind, topoArg int, topoSeed uint64, gsampler int, note []byte, err error) {
 	d := persist.NewDec(payload)
 	n = d.Int()
 	mode = d.Int()
@@ -170,8 +202,10 @@ func decodeMeta(payload []byte) (n, mode, shards int, strict bool, topoKind, top
 	strict = d.Bool()
 	topoKind = d.Int()
 	topoArg = d.Int()
+	topoSeed = d.U64()
+	gsampler = d.Int()
 	note = d.Bytes8()
-	return n, mode, shards, strict, topoKind, topoArg, note, d.Err()
+	return n, mode, shards, strict, topoKind, topoArg, topoSeed, gsampler, note, d.Err()
 }
 
 // ResumeSession reads a snapshot artifact and returns a session that
@@ -201,11 +235,11 @@ func ResumeSessionWithNote(r io.Reader) (*Session, []byte, error) {
 	if kind != sectMeta {
 		return nil, nil, persist.Corruptf("snapshot leads with section %d, want meta", kind)
 	}
-	n, mode, shards, strict, topoKind, topoArg, note, err := decodeMeta(payload)
+	n, mode, shards, strict, topoKind, topoArg, topoSeed, gsampler, note, err := decodeMeta(payload)
 	if err != nil {
 		return nil, nil, err
 	}
-	opts, err := sessionOptsFromMeta(n, mode, shards, strict, topoKind, topoArg)
+	opts, err := sessionOptsFromMeta(n, mode, shards, strict, topoKind, topoArg, topoSeed, gsampler)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -294,6 +328,7 @@ func (s *Session) NewTraceWriter(w io.Writer, snapEvery int) (*TraceWriter, erro
 	topoKind, topoArg, err := s.topologyCode()
 	bins := s.engine.Bins()
 	mode, shards, strict := s.mode, s.shards, s.strict
+	topoSeed, gsampler := s.topology.rrSeed, s.graphSampler
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -309,6 +344,8 @@ func (s *Session) NewTraceWriter(w io.Writer, snapEvery int) (*TraceWriter, erro
 	meta.Bool(strict)
 	meta.Int(topoKind)
 	meta.Int(topoArg)
+	meta.U64(topoSeed)
+	meta.Int(int(gsampler))
 	meta.Bytes8(nil)
 	if err := persist.WriteSection(bw, sectMeta, meta.Bytes()); err != nil {
 		return nil, err
@@ -394,7 +431,10 @@ type TraceMeta struct {
 	Mode     EngineMode
 	Shards   int
 	Strict   bool
-	Topology string // complete|ring|torus|hypercube
+	Topology string // complete|ring|torus|hypercube|expander|random-<d>-regular
+	// Sampler is the jump engine's graph-sampler choice the archive was
+	// recorded under ("auto" when unset or not applicable).
+	Sampler string
 }
 
 // TraceItem is one archive entry: exactly one of Record (a trajectory
@@ -430,12 +470,15 @@ func OpenTrace(r io.Reader) (*TraceReader, error) {
 	if kind != sectMeta {
 		return nil, persist.Corruptf("trace leads with section %d, want meta", kind)
 	}
-	n, mode, shards, strict, topoKind, _, _, err := decodeMeta(payload)
+	n, mode, shards, strict, topoKind, topoArg, _, gsampler, _, err := decodeMeta(payload)
 	if err != nil {
 		return nil, err
 	}
 	if mode < int(DirectEngine) || mode > int(ShardedJumpEngine) {
 		return nil, persist.Corruptf("unknown engine mode %d", mode)
+	}
+	if gsampler < int(GraphSamplerAuto) || gsampler > int(GraphSamplerRejection) {
+		return nil, persist.Corruptf("unknown graph sampler %d", gsampler)
 	}
 	topo := ""
 	switch topoKind {
@@ -447,12 +490,19 @@ func OpenTrace(r io.Reader) (*TraceReader, error) {
 		topo = "torus"
 	case 3:
 		topo = "hypercube"
+	case 4:
+		topo = "expander"
+	case 5:
+		topo = fmt.Sprintf("random-%d-regular", topoArg)
 	default:
 		return nil, persist.Corruptf("unknown topology code %d", topoKind)
 	}
 	return &TraceReader{
-		sr:   sr,
-		meta: TraceMeta{Bins: n, Mode: EngineMode(mode), Shards: shards, Strict: strict, Topology: topo},
+		sr: sr,
+		meta: TraceMeta{
+			Bins: n, Mode: EngineMode(mode), Shards: shards, Strict: strict,
+			Topology: topo, Sampler: GraphSampler(gsampler).String(),
+		},
 	}, nil
 }
 

@@ -25,6 +25,13 @@ func snapshotMatrix() []snapshotCase {
 		{"jump", []SessionOption{WithSessionEngineMode(JumpEngine)}},
 		{"jump-strict", []SessionOption{WithSessionEngineMode(JumpEngine), WithSessionStrictTieRule()}},
 		{"jump-ring", []SessionOption{WithSessionEngineMode(JumpEngine), WithSessionTopology(RingTopology())}},
+		// Both graph-sampler paths (and both new topology codes): the
+		// expander resolves to exact under auto at these sizes, the forced
+		// rejection cells serialize the hybrid's admissible bounds. Matrix
+		// sizes (16 and 64 bins) are perfect squares by design.
+		{"jump-expander", []SessionOption{WithSessionEngineMode(JumpEngine), WithSessionTopology(ExpanderTopology())}},
+		{"jump-expander-hybrid", []SessionOption{WithSessionEngineMode(JumpEngine), WithSessionTopology(ExpanderTopology()), WithSessionGraphSampler(GraphSamplerRejection)}},
+		{"jump-rr-hybrid", []SessionOption{WithSessionEngineMode(JumpEngine), WithSessionTopology(RandomRegularTopology(6, 99)), WithSessionGraphSampler(GraphSamplerRejection)}},
 		{"sharded-p1", []SessionOption{WithSessionEngineMode(ShardedEngine), WithSessionShards(1)}},
 		{"sharded-p3", []SessionOption{WithSessionEngineMode(ShardedEngine), WithSessionShards(3)}},
 		{"shardedjump-p1", []SessionOption{WithSessionEngineMode(ShardedJumpEngine), WithSessionShards(1)}},
@@ -230,6 +237,51 @@ func TestDecodeSnapshotMalformed(t *testing.T) {
 		}
 	})
 
+	t.Run("hybrid-section", func(t *testing.T) {
+		// The rejection sampler's persisted bounds get their own artifact:
+		// every flip and cut over it must still surface typed errors (the
+		// bounds validation behind the CRC rejects out-of-range admUB).
+		h := NewSession(16, 3, WithSessionEngineMode(JumpEngine),
+			WithSessionTopology(RandomRegularTopology(6, 21)),
+			WithSessionGraphSampler(GraphSamplerRejection))
+		for i := 0; i < 48; i++ {
+			h.AddBallRandom()
+		}
+		if err := h.RunFor(2); err != nil {
+			t.Fatal(err)
+		}
+		art := sessionSnapshotBytes(t, h)
+		if _, err := ResumeSession(bytes.NewReader(art)); err != nil {
+			t.Fatalf("hybrid control artifact does not decode: %v", err)
+		}
+		for _, cut := range []int{len(art) / 3, len(art) - 1} {
+			if _, err := ResumeSession(bytes.NewReader(art[:cut])); !errors.Is(err, persist.ErrTruncated) {
+				t.Fatalf("hybrid cut at %d: %v (want ErrTruncated)", cut, err)
+			}
+		}
+		for off := 5; off < len(art); off += 7 {
+			mut := append([]byte(nil), art...)
+			mut[off] ^= 0x41
+			s2, err := ResumeSession(bytes.NewReader(mut))
+			if err == nil {
+				if !bytes.Equal(sessionSnapshotBytes(t, s2), art) {
+					t.Fatalf("hybrid flip at %d silently decoded to different state", off)
+				}
+				continue
+			}
+			var verr *persist.VersionError
+			switch {
+			case errors.Is(err, persist.ErrChecksum),
+				errors.Is(err, persist.ErrCorrupt),
+				errors.Is(err, persist.ErrTruncated),
+				errors.Is(err, persist.ErrBadMagic),
+				errors.As(err, &verr):
+			default:
+				t.Fatalf("hybrid flip at %d: untyped error %v", off, err)
+			}
+		}
+	})
+
 	t.Run("wrong-magic", func(t *testing.T) {
 		mut := append([]byte(nil), good...)
 		copy(mut, persist.MagicTrace)
@@ -390,6 +442,47 @@ func TestTraceArchiveCrashTail(t *testing.T) {
 			t.Fatalf("mid-section cut: %v, want ErrTruncated", err)
 		}
 		break
+	}
+}
+
+// TestTraceMetaGraphFamilies pins the archive header strings for the
+// PR 10 topology codes and the graph-sampler field.
+func TestTraceMetaGraphFamilies(t *testing.T) {
+	cases := []struct {
+		opts     []SessionOption
+		topology string
+		sampler  string
+	}{
+		{[]SessionOption{WithSessionEngineMode(JumpEngine), WithSessionTopology(ExpanderTopology())},
+			"expander", "auto"},
+		{[]SessionOption{WithSessionEngineMode(JumpEngine), WithSessionTopology(RandomRegularTopology(6, 5)),
+			WithSessionGraphSampler(GraphSamplerRejection)},
+			"random-6-regular", "rejection"},
+	}
+	for _, c := range cases {
+		s := NewSession(16, 9, c.opts...)
+		for i := 0; i < 32; i++ {
+			s.AddBallRandom()
+		}
+		var buf bytes.Buffer
+		tw, err := s.NewTraceWriter(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Point(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := OpenTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := tr.Meta()
+		if meta.Topology != c.topology || meta.Sampler != c.sampler {
+			t.Fatalf("trace meta %+v, want topology %q sampler %q", meta, c.topology, c.sampler)
+		}
 	}
 }
 

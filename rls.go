@@ -83,21 +83,48 @@ func UntilTime(t float64) Target {
 // (§7 extension). The zero value means the complete topology of §3.
 type Topology struct {
 	g graphs.Graph
+	// Random-regular topologies are a factory, not a graph: the adjacency
+	// needs the runner's n, so resolveGraph builds it from (d, seed) at
+	// engine-construction time (deterministically — snapshots persist the
+	// pair and rebuild the same graph on resume).
+	rrD    int
+	rrSeed uint64
 }
+
+// active reports whether the topology restricts sampling at all (i.e. is
+// not the complete topology).
+func (t Topology) active() bool { return t.g != nil || t.rrD > 0 }
 
 // CompleteTopology is the paper's original setting (sample any bin).
 func CompleteTopology() Topology { return Topology{} }
 
 // RingTopology samples among the two ring neighbors.
-func RingTopology() Topology { return Topology{graphs.Ring{}} }
+func RingTopology() Topology { return Topology{g: graphs.Ring{}} }
 
 // TorusTopology samples among the four torus neighbors; the runner's bin
 // count must be side².
-func TorusTopology(side int) Topology { return Topology{graphs.Torus2D{Side: side}} }
+func TorusTopology(side int) Topology { return Topology{g: graphs.Torus2D{Side: side}} }
 
 // HypercubeTopology samples among the hypercube neighbors; the runner's
 // bin count must be 2^dim.
-func HypercubeTopology(dim int) Topology { return Topology{graphs.Hypercube{Dim: dim}} }
+func HypercubeTopology(dim int) Topology { return Topology{g: graphs.Hypercube{Dim: dim}} }
+
+// ExpanderTopology samples among the eight Margulis–Gabber–Galil expander
+// neighbors; the runner's bin count must be a perfect square (the side
+// adapts to √n). Constant spectral gap at any size — the catalogue's
+// fast-mixing family.
+func ExpanderTopology() Topology { return Topology{g: graphs.Expander{}} }
+
+// RandomRegularTopology samples among the d neighbor slots of a random
+// d-regular multigraph built deterministically from seed (the pairing
+// model with switching repair; construction randomness is a dedicated
+// stream, independent of the run's WithSeed stream). n·d must be even
+// and 1 ≤ d < n. With d above sim.GraphSamplerThreshold the jump
+// engine's auto mode switches to the rejection-within-blocks sampler —
+// the dense regime this family exists to exercise.
+func RandomRegularTopology(d int, seed uint64) Topology {
+	return Topology{rrD: d, rrSeed: seed}
+}
 
 // EngineMode selects how a run is simulated.
 type EngineMode int
@@ -166,6 +193,32 @@ func (m EngineMode) String() string {
 	return "direct"
 }
 
+// GraphSampler selects how the jump engine maintains the move weight on
+// a graph topology. It never changes the balancing law — only which
+// bookkeeping pays for it (see internal/sim's GraphSamplerMode).
+type GraphSampler int
+
+const (
+	// GraphSamplerAuto (the default) picks exact for degree ≤
+	// sim.GraphSamplerThreshold(n) and rejection above — a pure function
+	// of (Δ_G, n), so fixed-seed runs reproduce and snapshots resume onto
+	// the same sampler.
+	GraphSamplerAuto GraphSampler = iota
+	// GraphSamplerExact forces the per-source admissible index: every
+	// simulated event is a real move, O(Δ_G²+Δ_G·log n) per move.
+	GraphSamplerExact
+	// GraphSamplerRejection forces rejection-within-blocks against the
+	// lazy bound Ŵ_G ≥ W_G: expected Ŵ_G/W_G events per move at
+	// O(Δ_G·log n) each — the dense-degree trade.
+	GraphSamplerRejection
+)
+
+// String returns "auto", "exact", or "rejection".
+func (gs GraphSampler) String() string { return sim.GraphSamplerMode(gs).String() }
+
+// simMode converts to the sim-layer enum (same numbering by definition).
+func (gs GraphSampler) simMode() sim.GraphSamplerMode { return sim.GraphSamplerMode(gs) }
+
 // Option configures a Runner.
 type Option func(*Runner)
 
@@ -188,6 +241,15 @@ func WithStrictTieRule() Option { return func(r *Runner) { r.strict = true } }
 // Supported by DirectEngine (any graph) and JumpEngine (regular graphs,
 // plain tie rule); the sharded modes reject it.
 func WithTopology(t Topology) Option { return func(r *Runner) { r.topology = t } }
+
+// WithGraphSampler overrides the jump engine's graph sampler choice
+// (default GraphSamplerAuto). It composes only with WithEngineMode(
+// JumpEngine) plus a topology; every other mode rejects a non-auto
+// value. The law is unchanged either way — the differential tests and
+// the A8 gate hold both samplers to the direct engine's distribution.
+func WithGraphSampler(gs GraphSampler) Option {
+	return func(r *Runner) { r.graphSampler = gs }
+}
 
 // WithSpeeds gives bin i speed speeds[i] and switches to the §7
 // speed-aware rule (move iff the experienced load ℓ/s strictly improves).
@@ -227,18 +289,19 @@ func WithActivationBudget(k int64) Option { return func(r *Runner) { r.budget = 
 
 // Runner executes RLS runs for one (n, m, options) setting.
 type Runner struct {
-	n, m       int
-	seed       uint64
-	placement  Placement
-	target     Target
-	strict     bool
-	topology   Topology
-	speeds     []float64
-	fenwick    bool
-	mode       EngineMode
-	shards     int
-	shardEpoch float64
-	budget     int64
+	n, m         int
+	seed         uint64
+	placement    Placement
+	target       Target
+	strict       bool
+	topology     Topology
+	graphSampler GraphSampler
+	speeds       []float64
+	fenwick      bool
+	mode         EngineMode
+	shards       int
+	shardEpoch   float64
+	budget       int64
 }
 
 // New creates a Runner for n bins and m balls. It panics unless n ≥ 1 and
@@ -297,11 +360,23 @@ type TracePoint struct {
 	MaxLoad     int
 }
 
-// resolveGraph concretizes a Topology against a bin count: the ring
-// adapts its vertex count to n, the torus and hypercube must match it
-// exactly. Both the direct mover and the graph jump engine resolve
-// through here, so mismatches produce the same errors in every mode.
+// resolveGraph concretizes a Topology against a bin count: the ring and
+// expander adapt their vertex count to n (the expander needs square n),
+// the torus and hypercube must match it exactly, and random-regular
+// builds its adjacency from (d, seed). Both the direct mover and the
+// graph jump engine resolve through here, so mismatches produce the same
+// errors in every mode.
 func resolveGraph(t Topology, n int) (graphs.Graph, error) {
+	if t.rrD > 0 {
+		if t.rrD >= n {
+			return nil, fmt.Errorf("rls: random-regular degree %d does not fit n=%d", t.rrD, n)
+		}
+		g, err := graphs.NewRandomRegularSeed(n, t.rrD, t.rrSeed)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
 	g := t.g
 	switch tt := g.(type) {
 	case graphs.Ring:
@@ -314,6 +389,15 @@ func resolveGraph(t Topology, n int) (graphs.Graph, error) {
 		if 1<<tt.Dim != n {
 			return nil, fmt.Errorf("rls: hypercube dim %d does not match n=%d", tt.Dim, n)
 		}
+	case graphs.Expander:
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, fmt.Errorf("rls: the expander needs a square bin count, n=%d is not", n)
+		}
+		g = graphs.Expander{Side: side} // the expander adapts to the runner's n
 	}
 	return g, nil
 }
@@ -324,12 +408,12 @@ func (r *Runner) mover() (sim.Mover, error) {
 		if len(r.speeds) != r.n {
 			return nil, fmt.Errorf("rls: %d speeds for %d bins", len(r.speeds), r.n)
 		}
-		if r.topology.g != nil {
+		if r.topology.active() {
 			return nil, fmt.Errorf("rls: speeds and topology cannot be combined yet")
 		}
 		return hetero.NewSpeedRLS(r.speeds)
 	}
-	if r.topology.g != nil {
+	if r.topology.active() {
 		if r.strict {
 			return nil, fmt.Errorf("rls: strict tie rule on a topology is not supported")
 		}
@@ -349,8 +433,11 @@ func (r *Runner) mover() (sim.Mover, error) {
 // options neither supports (the sharded modes remain plain-rule,
 // complete-topology only; see the EngineMode docs).
 func (r *Runner) shardedEngine() (*sim.Sharded, error) {
-	if r.strict || r.topology.g != nil || r.speeds != nil {
+	if r.strict || r.topology.active() || r.speeds != nil {
 		return nil, fmt.Errorf("rls: the %s engine supports neither the strict tie rule, nor topologies, nor bin speeds; DirectEngine supports all three, JumpEngine the first two", r.mode)
+	}
+	if r.graphSampler != GraphSamplerAuto {
+		return nil, fmt.Errorf("rls: WithGraphSampler needs the jump engine on a graph topology")
 	}
 	if r.fenwick {
 		return nil, fmt.Errorf("rls: the %s engine owns per-shard ball lists; drop WithFenwickEngine", r.mode)
@@ -432,14 +519,17 @@ func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
 		if r.fenwick {
 			return nil, nil, fmt.Errorf("rls: the jump engine has no activation sampler; drop WithFenwickEngine")
 		}
-		if r.strict && r.topology.g != nil {
+		if r.strict && r.topology.active() {
 			return nil, nil, fmt.Errorf("rls: strict tie rule on a topology is not supported")
+		}
+		if r.graphSampler != GraphSamplerAuto && !r.topology.active() {
+			return nil, nil, fmt.Errorf("rls: WithGraphSampler needs the jump engine on a graph topology")
 		}
 		stream := rng.New(r.seed)
 		v := r.placement.gen.Generate(r.n, r.m, stream)
 		var e *sim.Engine
 		switch {
-		case r.topology.g != nil:
+		case r.topology.active():
 			g, err := resolveGraph(r.topology, r.n)
 			if err != nil {
 				return nil, nil, err
@@ -447,7 +537,7 @@ func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
 			if _, ok := graphs.RegularDegree(g); !ok {
 				return nil, nil, fmt.Errorf("rls: the jump engine needs a regular topology, %s is not", g.Name())
 			}
-			e = sim.NewGraphJumpEngine(v, g, stream)
+			e = sim.NewGraphJumpEngineMode(v, g, r.graphSampler.simMode(), stream)
 		case r.strict:
 			e = sim.NewStrictJumpEngine(v, stream)
 		default:
@@ -461,6 +551,9 @@ func (r *Runner) engine() (*sim.Engine, *core.PhaseTracker, error) {
 			e.SetHorizon(r.target.arg)
 		}
 		return e, core.NewPhaseTracker(e), nil
+	}
+	if r.graphSampler != GraphSamplerAuto {
+		return nil, nil, fmt.Errorf("rls: WithGraphSampler needs the jump engine on a graph topology")
 	}
 	mover, err := r.mover()
 	if err != nil {

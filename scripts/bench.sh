@@ -3,8 +3,10 @@
 # as JSON so successive PRs can track the hot paths: whole-run balancing
 # cost (BenchmarkBalanceToPerfection), the direct-vs-jump end-game
 # comparisons — plain (BenchmarkEndGame), strict tie rule
-# (BenchmarkStrictEndGame), and ring/torus/hypercube topologies
-# (BenchmarkGraphEndGame) — live churn (BenchmarkSessionChurn), the
+# (BenchmarkStrictEndGame), ring/torus/hypercube/expander topologies
+# (BenchmarkGraphEndGame), and the dense-degree graph sampler comparison
+# direct vs jump-exact vs jump-hybrid (BenchmarkGraphDense, gated ≥ 5x by
+# check_graphdense.sh) — live churn (BenchmarkSessionChurn), the
 # direct-vs-sharded dense regime (BenchmarkShardedDense), the sharded-jump
 # composition (BenchmarkShardedJumpEndGame,
 # BenchmarkShardedJumpDenseToSparse), and the parallel epoch loop's
@@ -44,7 +46,7 @@ done
 out=${1:-BENCH_PR$((max_pr + 1)).json}
 benchtime=${BENCHTIME:-3x}
 gomaxprocs=${GOMAXPROCS:-$(nproc)}
-pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|BenchmarkGraphEndGame|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse|BenchmarkShardedEpochSteadyState|BenchmarkSnapshot|BenchmarkRestore|BenchmarkTraceAppend)$'
+pattern='^(BenchmarkBalanceToPerfection|BenchmarkEndGame|BenchmarkStrictEndGame|BenchmarkGraphEndGame|BenchmarkGraphDense|BenchmarkSessionChurn|BenchmarkShardedDense|BenchmarkShardedJumpEndGame|BenchmarkShardedJumpDenseToSparse|BenchmarkShardedEpochSteadyState|BenchmarkSnapshot|BenchmarkRestore|BenchmarkTraceAppend)$'
 
 raw=$(mktemp)
 scaling_json=$(mktemp)

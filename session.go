@@ -53,13 +53,14 @@ type Session struct {
 	// mu serializes every method; see the Concurrency section above. The
 	// methods below must not call each other while holding it — shared
 	// logic lives in unexported unlocked helpers.
-	mu       sync.Mutex
-	engine   sessionEngine
-	stream   *rng.RNG
-	mode     EngineMode
-	shards   int
-	strict   bool
-	topology Topology
+	mu           sync.Mutex
+	engine       sessionEngine
+	stream       *rng.RNG
+	mode         EngineMode
+	shards       int
+	strict       bool
+	topology     Topology
+	graphSampler GraphSampler
 }
 
 // sessionEngine is the churn-plus-execution surface Session drives; it is
@@ -164,6 +165,14 @@ func WithSessionTopology(t Topology) SessionOption {
 	return func(s *Session) { s.topology = t }
 }
 
+// WithSessionGraphSampler overrides the jump mode's graph sampler choice
+// (default GraphSamplerAuto; see WithGraphSampler). It composes only
+// with WithSessionEngineMode(JumpEngine) plus a topology; NewSession
+// panics on any other combination.
+func WithSessionGraphSampler(gs GraphSampler) SessionOption {
+	return func(s *Session) { s.graphSampler = gs }
+}
+
 // NewSession creates a session with n empty bins.
 func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 	if n < 1 {
@@ -173,21 +182,24 @@ func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 	for _, o := range opts {
 		o(s)
 	}
-	if s.strict && s.topology.g != nil {
+	if s.strict && s.topology.active() {
 		panic("rls: strict tie rule on a topology is not supported")
+	}
+	if s.graphSampler != GraphSamplerAuto && !(s.mode == JumpEngine && s.topology.active()) {
+		panic("rls: WithSessionGraphSampler needs the jump engine on a graph topology")
 	}
 	switch s.mode {
 	case JumpEngine:
 		switch {
-		case s.topology.g != nil:
-			s.engine = sequentialSession{sim.NewGraphJumpEngine(make(loadvec.Vector, n), s.sessionGraph(n), s.stream)}
+		case s.topology.active():
+			s.engine = sequentialSession{sim.NewGraphJumpEngineMode(make(loadvec.Vector, n), s.sessionGraph(n), s.graphSampler.simMode(), s.stream)}
 		case s.strict:
 			s.engine = sequentialSession{sim.NewStrictJumpEngine(make(loadvec.Vector, n), s.stream)}
 		default:
 			s.engine = sequentialSession{sim.NewJumpEngine(make(loadvec.Vector, n), s.stream)}
 		}
 	case ShardedEngine, ShardedJumpEngine:
-		if s.strict || s.topology.g != nil {
+		if s.strict || s.topology.active() {
 			panic("rls: sharded sessions support only plain RLS on the complete topology")
 		}
 		if s.mode == ShardedEngine {
@@ -197,7 +209,7 @@ func NewSession(n int, seed uint64, opts ...SessionOption) *Session {
 		}
 	default:
 		var mover sim.Mover = core.RLS{}
-		if s.topology.g != nil {
+		if s.topology.active() {
 			mover = graphs.GraphRLS{G: s.sessionGraph(n)}
 		} else if s.strict {
 			mover = core.StrictRLS{}
@@ -235,8 +247,11 @@ func (s *Session) Shards() int { return s.shards }
 func (s *Session) Strict() bool { return s.strict }
 
 // TopologyName returns the session topology's name: "complete", "ring",
-// "torus", or "hypercube".
+// "torus", "hypercube", "expander", or "random-<d>-regular".
 func (s *Session) TopologyName() string {
+	if s.topology.rrD > 0 {
+		return fmt.Sprintf("random-%d-regular", s.topology.rrD)
+	}
 	switch s.topology.g.(type) {
 	case graphs.Ring:
 		return "ring"
@@ -244,9 +259,15 @@ func (s *Session) TopologyName() string {
 		return "torus"
 	case graphs.Hypercube:
 		return "hypercube"
+	case graphs.Expander:
+		return "expander"
 	}
 	return "complete"
 }
+
+// GraphSamplerChoice returns the session's configured graph sampler mode
+// (GraphSamplerAuto unless overridden); fixed at creation.
+func (s *Session) GraphSamplerChoice() GraphSampler { return s.graphSampler }
 
 // N returns the number of bins.
 func (s *Session) N() int {

@@ -36,37 +36,11 @@ func sameResult(t *testing.T, name string, a, b Result) {
 // TestShardedSingleShardByteIdenticalToDirect pins the P = 1 degenerate
 // case of the sharded engine to the direct engine: same RNG stream, same
 // draw order, same per-activation stop granularity — the fixed-seed
-// output must match bit for bit across placements and target kinds.
+// output must match bit for bit across placements and target kinds (the
+// shared grid in enginepair_test.go).
 func TestShardedSingleShardByteIdenticalToDirect(t *testing.T) {
-	cases := []struct {
-		name string
-		n, m int
-		opts []Option
-	}{
-		{"all-in-one/n=32,m=256,seed=42", 32, 256, []Option{WithSeed(42)}},
-		{"random/n=128,m=1024,seed=11", 128, 1024, []Option{WithSeed(11), WithPlacement(Random())}},
-		{"two-choice/disc-target/n=16,m=160,seed=7", 16, 160,
-			[]Option{WithSeed(7), WithPlacement(TwoChoice()), WithTarget(UntilBalanced(2))}},
-		{"time-target/n=64,m=640,seed=3", 64, 640,
-			[]Option{WithSeed(3), WithTarget(UntilTime(2.5))}},
-		{"delta-pair/n=48,m=480,seed=9", 48, 480,
-			[]Option{WithSeed(9), WithPlacement(DeltaPair(3))}},
-	}
-	for _, c := range cases {
-		c := c
-		t.Run(c.name, func(t *testing.T) {
-			n, m := c.n, c.m
-			direct, err := New(n, m, c.opts...).Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			sharded, err := New(n, m, append([]Option{WithEngineMode(ShardedEngine), WithShards(1)}, c.opts...)...).Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			sameResult(t, c.name, direct, sharded)
-		})
-	}
+	testEnginePairByteIdentical(t, nil,
+		[]Option{WithEngineMode(ShardedEngine), WithShards(1)})
 }
 
 // TestShardedSingleShardTracedMatchesDirect extends the byte-identity to

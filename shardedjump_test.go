@@ -12,35 +12,9 @@ import (
 // fixed-seed output must match bit for bit across placements and target
 // kinds.
 func TestShardedJumpSingleShardByteIdenticalToJump(t *testing.T) {
-	cases := []struct {
-		name string
-		n, m int
-		opts []Option
-	}{
-		{"all-in-one/n=32,m=256,seed=42", 32, 256, []Option{WithSeed(42)}},
-		{"random/n=128,m=1024,seed=11", 128, 1024, []Option{WithSeed(11), WithPlacement(Random())}},
-		{"two-choice/disc-target/n=16,m=160,seed=7", 16, 160,
-			[]Option{WithSeed(7), WithPlacement(TwoChoice()), WithTarget(UntilBalanced(2))}},
-		{"time-target/n=64,m=640,seed=3", 64, 640,
-			[]Option{WithSeed(3), WithTarget(UntilTime(2.5))}},
-		{"delta-pair/n=48,m=480,seed=9", 48, 480,
-			[]Option{WithSeed(9), WithPlacement(DeltaPair(3))}},
-	}
-	for _, c := range cases {
-		c := c
-		t.Run(c.name, func(t *testing.T) {
-			jump, err := New(c.n, c.m, append([]Option{WithEngineMode(JumpEngine)}, c.opts...)...).Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			sharded, err := New(c.n, c.m,
-				append([]Option{WithEngineMode(ShardedJumpEngine), WithShards(1)}, c.opts...)...).Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			sameResult(t, c.name, jump, sharded)
-		})
-	}
+	testEnginePairByteIdentical(t,
+		[]Option{WithEngineMode(JumpEngine)},
+		[]Option{WithEngineMode(ShardedJumpEngine), WithShards(1)})
 }
 
 // TestShardedJumpSingleShardTracedMatchesJump extends the byte-identity
